@@ -1,0 +1,16 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def finite_delay(series, intensity):
+    """The normalized delay of ``series`` at ``intensity`` (None if saturated)."""
+    for point in series.points:
+        if abs(point.intensity - intensity) < 1e-9:
+            return point.normalized_delay
+    return None
+
+
+def series_by_label(series_list):
+    """Index a list of Series by their label."""
+    return {series.label: series for series in series_list}

@@ -1,0 +1,143 @@
+"""E15 — ablations on the design choices DESIGN.md calls out.
+
+* **Arbitration policy** (Section IV): the wavefront's asymmetric priority
+  versus the POLYP token scheme (random) versus an idealized FIFO — same
+  throughput, different fairness; mean delay is essentially policy-
+  independent at these loads (the paper's motivation for randomization is
+  fairness, not mean delay).
+* **Topology** (Section V): the box algorithm is wiring-agnostic — an
+  indirect binary n-cube gives the same delay as the Omega network.
+* **mu_s/mu_n extension**: pushing the ratio well past 1 exposes the
+  crossbar's advantage the paper predicts in Section VI.
+* **Distribution robustness**: deterministic and hyperexponential service
+  break assumption (a); delay ordering with load is preserved.
+"""
+
+import pytest
+
+from repro.analysis import workload_at
+from repro.core import simulate
+from repro.workload import Workload
+
+HORIZON = 12_000.0
+WARMUP = 1_200.0
+
+
+def run(config, workload, arbitration="priority", seed=3):
+    return simulate(config, workload, horizon=HORIZON, warmup=WARMUP,
+                    seed=seed, arbitration=arbitration)
+
+
+def test_ablation_arbitration_policy(once):
+    workload = workload_at(0.8, 0.5)
+
+    def measure():
+        return {policy: run("16/1x16x16 XBAR/2", workload, policy).mean_queueing_delay
+                for policy in ("priority", "random", "fifo")}
+
+    delays = once(measure)
+    print()
+    for policy, delay in delays.items():
+        print(f"  arbitration={policy}: d = {delay:.4f}")
+    base = delays["priority"]
+    for policy, delay in delays.items():
+        assert delay == pytest.approx(base, rel=0.25)
+
+
+def test_ablation_topology_wiring_agnostic(once):
+    """The box algorithm is wiring-agnostic: Omega, indirect binary
+    n-cube and baseline wirings give the same delay (Section V: 'the
+    design is applicable to other types of multistage networks')."""
+    workload = workload_at(0.8, 0.5)
+
+    def measure():
+        return {kind: run(f"16/1x16x16 {kind}/2", workload).mean_queueing_delay
+                for kind in ("OMEGA", "CUBE", "BASELINE")}
+
+    delays = once(measure)
+    print()
+    for kind, delay in delays.items():
+        print(f"  {kind.lower()}: d = {delay:.4f}")
+    base = delays["OMEGA"]
+    for delay in delays.values():
+        assert delay == pytest.approx(base, rel=0.25)
+
+
+def test_ablation_typed_resources(once):
+    """Section V extension: with t types the scheduler still allocates
+    every satisfiable request, and segregating the pool by type can only
+    reduce what a batch can capture (supply fragmentation)."""
+    import random
+
+    from repro.networks import ClockedMultistageScheduler, OmegaTopology
+
+    def measure():
+        rng = random.Random(5)
+        pooled_total = typed_total = feasible_typed = feasible_pooled = 0
+        for _ in range(150):
+            requesters = rng.sample(range(8), 5)
+            ports = rng.sample(range(8), 4)
+            # Pooled: 8 interchangeable resources on 4 ports.
+            pooled = ClockedMultistageScheduler(
+                OmegaTopology(8), {port: 2 for port in ports})
+            pooled_result = pooled.run(list(requesters))
+            pooled_total += len(pooled_result.allocated)
+            feasible_pooled += min(5, 8)
+            # Typed: same ports, each with one 'a' and one 'b'; requests
+            # split across the types.
+            typed = ClockedMultistageScheduler(
+                OmegaTopology(8), {port: {"a": 1, "b": 1} for port in ports})
+            typed_requests = [(source, "a" if i % 2 == 0 else "b")
+                              for i, source in enumerate(requesters)]
+            typed_result = typed.run(typed_requests)
+            typed_total += len(typed_result.allocated)
+            feasible_typed += min(5, 8)
+        return pooled_total, typed_total
+
+    pooled_total, typed_total = once(measure)
+    print(f"\n  allocations: pooled={pooled_total} typed={typed_total}")
+    assert typed_total <= pooled_total
+    assert typed_total > 0.7 * pooled_total  # types fragment, not cripple
+
+
+def test_ablation_large_ratio_favours_crossbar(once):
+    """Extension of Fig. 13: at mu_s/mu_n = 4 and heavy load the Omega
+    network's internal blocking costs it decisively against the crossbar
+    (Table II's 'large ratio' column)."""
+    workload = workload_at(1.05, 4.0)
+
+    def measure():
+        omega = run("16/1x16x16 OMEGA/2", workload)
+        crossbar = run("16/1x16x32 XBAR/1", workload)
+        return omega, crossbar
+
+    omega, crossbar = once(measure)
+    print(f"\n  omega: d = {omega.mean_queueing_delay:.2f} "
+          f"(blocked {omega.network_blocking_fraction:.2f})  "
+          f"crossbar: d = {crossbar.mean_queueing_delay:.2f}")
+    assert omega.network_blocking_fraction > 0.1
+    assert crossbar.network_blocking_fraction == 0.0
+    assert omega.mean_queueing_delay > 1.3 * crossbar.mean_queueing_delay
+
+
+def test_ablation_service_distribution(once):
+    """Assumption (a) ablation: heavier-tailed service inflates delay,
+    deterministic service deflates it, ordering preserved."""
+    base = workload_at(0.8, 0.5)
+
+    def measure():
+        results = {}
+        for distribution in ("deterministic", "exponential", "hyperexponential"):
+            workload = Workload(
+                base.arrival_rate, base.transmission_rate, base.service_rate,
+                service_distribution=distribution)
+            results[distribution] = run(
+                "16/1x16x16 XBAR/2", workload).mean_queueing_delay
+        return results
+
+    delays = once(measure)
+    print()
+    for distribution, delay in delays.items():
+        print(f"  service={distribution}: d = {delay:.4f}")
+    assert delays["deterministic"] <= delays["exponential"] * 1.05
+    assert delays["hyperexponential"] >= delays["exponential"] * 0.95

@@ -1,0 +1,62 @@
+"""E11 — Section V: blocking probability, RSIN versus address mapping.
+
+Paper numbers for an 8x8 Omega with a free fabric:
+
+* address mapping: ~0.3 blocking (Franklin's measurement, reproduced here
+  as a random full permutation routed by destination tags);
+* distributed resource search: ~0.15 on random request/resource sets.
+
+Our measurements: the full-permutation address-mapping probability lands
+on 0.29-0.30; on random k-request/k-resource sets the distributed
+scheduler blocks at roughly a third to a half of the address-mapping rate
+(0.10 vs 0.22 at k = 6).  The paper's headline relation — distributed
+search roughly halves blocking — holds everywhere; the absolute 0.15
+depends on the (unreported) request-set distribution of the original
+experiments.
+"""
+
+import pytest
+
+from repro.analysis import (
+    average_blocking,
+    blocking_comparison,
+    full_permutation_blocking,
+)
+from repro.experiments import format_blocking_table
+
+
+@pytest.fixture(scope="module")
+def points():
+    return blocking_comparison(size=8, request_sizes=(3, 4, 5, 6, 7),
+                               trials=300, seed=7)
+
+
+def test_blocking_table(once, points):
+    full = once(full_permutation_blocking, "OMEGA", 8, 600, 7)
+    print()
+    print(format_blocking_table(points, full=full,
+                                title="Section V - 8x8 Omega blocking"))
+    assert full["address_mapping"] == pytest.approx(0.30, abs=0.04)
+    assert full["rsin"] < 0.05
+
+
+def test_rsin_halves_address_mapping_blocking(once, points):
+    averages = once(average_blocking, points)
+    assert averages["rsin"] < 0.6 * averages["address_random"]
+
+
+def test_blocking_levels_match_paper_band(once, points):
+    """RSIN in the ~0.1 band, address mapping in the ~0.2-0.3 band at the
+    request sizes where both are busy."""
+    by_size = once(lambda: {p.request_size: p for p in points})
+    heavy = by_size[6]
+    assert 0.05 <= heavy.rsin <= 0.18
+    assert 0.15 <= heavy.address_random <= 0.32
+
+
+def test_cube_shows_same_relation(once):
+    """Topology robustness: the indirect binary n-cube behaves like the
+    Omega network under both schedulers."""
+    cube_points = once(blocking_comparison, "CUBE", 8, (5,), 200, 11)
+    point = cube_points[0]
+    assert point.rsin < point.address_random

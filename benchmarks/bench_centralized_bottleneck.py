@@ -1,0 +1,70 @@
+"""Extension of Section I: the centralized scheduler as a bottleneck.
+
+"This sequential service of requests is a major overhead in a resource-
+sharing environment and may become a bottleneck.  This approach is
+practical when the number of resources is not large or when requests are
+not very frequent."  Measured: the same crossbar RSIN behind a serial
+allocator of varying per-request cost, against the distributed design.
+"""
+
+import pytest
+
+from repro.analysis import workload_at
+from repro.core import simulate, simulate_centralized
+
+CONFIG = "16/1x16x32 XBAR/1"
+HORIZON = 16_000.0
+OVERHEADS = (0.0, 0.05, 0.2, 0.5, 1.0)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    workload = workload_at(0.6, 0.1)
+    results = {"distributed": simulate(CONFIG, workload, horizon=HORIZON,
+                                       warmup=HORIZON * 0.1, seed=4,
+                                       arbitration="fifo")}
+    for overhead in OVERHEADS:
+        results[overhead] = simulate_centralized(
+            CONFIG, workload, horizon=HORIZON, warmup=HORIZON * 0.1,
+            scheduling_time=overhead, seed=4)
+    return results
+
+
+def test_bottleneck_table(once, sweep):
+    rows = once(dict, sweep)
+    print()
+    for key, result in rows.items():
+        label = key if isinstance(key, str) else f"central delta={key}"
+        print(f"  {label:<18} d = {result.mean_queueing_delay:10.4f}  "
+              f"completed = {result.completed_tasks}")
+    assert len(rows) == len(OVERHEADS) + 1
+
+
+def test_free_scheduler_matches_distributed(once, sweep):
+    central = sweep[0.0]
+    distributed = sweep["distributed"]
+    gap = once(lambda: abs(central.mean_queueing_delay
+                           - distributed.mean_queueing_delay))
+    assert gap < 0.15 * distributed.mean_queueing_delay + 0.01
+
+
+def test_infrequent_requests_tolerate_centralization(once, sweep):
+    """The paper's concession: centralized scheduling 'is practical ...
+    when requests are not very frequent' — at delta = 0.05 (scheduler 20x
+    faster than the request stream needs) the penalty is mild."""
+    mild = sweep[0.05]
+    free = sweep[0.0]
+    ratio = once(lambda: mild.mean_queueing_delay / free.mean_queueing_delay)
+    assert ratio < 2.5
+
+
+def test_serial_scheduler_becomes_the_bottleneck(once, sweep):
+    """At delta = 1.0 the scheduler's capacity (1 req/unit) is below the
+    offered 0.96 req/unit plus stalls: the queue runs away while the
+    distributed system cruises at d ~ 0.1."""
+    saturated = sweep[1.0]
+    distributed = sweep["distributed"]
+    ratio = once(lambda: saturated.mean_queueing_delay
+                 / distributed.mean_queueing_delay)
+    assert ratio > 100.0
+    assert saturated.completed_tasks < 0.8 * distributed.completed_tasks

@@ -1,0 +1,69 @@
+"""Extension: how good is assumption (c)?  Gate-time sweep on the crossbar.
+
+Assumption (c) says network propagation delay is negligible.  The
+cycle-accurate crossbar model prices it: the hardware alternates request
+cycles of 4(p+m) gate delays with reset cycles of (p+m), and requests are
+only granted at cycle boundaries.  Sweeping the gate time shows where the
+queueing results stop being gate-speed-independent.
+
+Cross-validation: at gate_time = 0 the cycle engine must agree with the
+event-driven simulator — two independently written schedulers, one answer.
+"""
+
+import pytest
+
+from repro.analysis import workload_at
+from repro.core import simulate, simulate_cycle_accurate
+
+CONFIG = "16/1x16x32 XBAR/1"
+HORIZON = 16_000.0
+# Mean transmission time is 1.0; a request cycle is 4 * 48 = 192 gates.
+GATE_TIMES = (0.0, 1e-4, 1e-3, 1e-2)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    workload = workload_at(0.6, 0.1)
+    results = {}
+    for gate_time in GATE_TIMES:
+        results[gate_time] = simulate_cycle_accurate(
+            CONFIG, workload, horizon=HORIZON, warmup=HORIZON * 0.1,
+            gate_time=gate_time, seed=4)
+    results["event-driven"] = simulate(
+        CONFIG, workload, horizon=HORIZON, warmup=HORIZON * 0.1, seed=4)
+    return results
+
+
+def test_gate_time_sweep(once, sweep):
+    rows = once(dict, sweep)
+    print()
+    for key, result in rows.items():
+        label = (f"gate_time={key}" if not isinstance(key, str) else key)
+        print(f"  {label:<18} d = {result.mean_queueing_delay:.4f}")
+    assert len(rows) == len(GATE_TIMES) + 1
+
+
+def test_zero_gate_time_cross_validates_models(once, sweep):
+    cycles = sweep[0.0]
+    events = sweep["event-driven"]
+    difference = once(lambda: abs(cycles.mean_queueing_delay
+                                  - events.mean_queueing_delay))
+    assert difference < 0.15 * events.mean_queueing_delay + 0.01
+
+
+def test_assumption_c_holds_for_fast_gates(once, sweep):
+    """At 1e-4 time units per gate (a ~10us task on ~1ns gates) the
+    scheduling overhead is invisible: assumption (c) is sound."""
+    fast = sweep[1e-4]
+    free = sweep[0.0]
+    ratio = once(lambda: fast.mean_queueing_delay / free.mean_queueing_delay)
+    assert ratio < 1.25
+
+
+def test_assumption_c_breaks_for_slow_gates(once, sweep):
+    """When a request cycle costs ~2 mean transmission times the queueing
+    delay is no longer network-independent."""
+    slow = sweep[1e-2]
+    free = sweep[0.0]
+    ratio = once(lambda: slow.mean_queueing_delay / free.mean_queueing_delay)
+    assert ratio > 3.0

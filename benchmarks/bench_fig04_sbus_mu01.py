@@ -1,0 +1,98 @@
+"""E1 — Fig. 4: single-shared-bus delay curves at mu_s/mu_n = 0.1.
+
+Paper claims reproduced here:
+
+* delay falls as the number of partitions grows (at loads every
+  configuration survives);
+* the 16-private-bus r=2 curve crosses *above* the 2-partition curve at
+  low intensity (resources are the light-load bottleneck) and the
+  crossover sits below rho ~ 0.64;
+* going from 2 to 4 private resources roughly halves the delay;
+* with infinitely many private resources the system is the M/M/1 queue of
+  the bus alone.
+"""
+
+import pytest
+
+from repro.analysis import crossover_intensity
+from repro.experiments import figure_series, format_series_table
+from _helpers import finite_delay, series_by_label
+
+GRID = [round(0.08 * k, 4) for k in range(1, 15)]  # 0.08 .. 1.12
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return figure_series("fig4", intensities=GRID)
+
+
+def test_fig4_generation(once):
+    series = once(figure_series, "fig4", intensities=GRID)
+    print()
+    print(format_series_table(series, title="Fig. 4 - SBUS, mu_s/mu_n = 0.1"))
+    assert len(series) == 7
+
+
+def test_fig4_partitioning_reduces_delay(once, curves):
+    by_label = once(series_by_label, curves)
+    rho = 0.32  # below every configuration's saturation
+    one = finite_delay(by_label["1 partition (16 proc/bus, 32 res)"], rho)
+    two = finite_delay(by_label["2 partitions (8 proc/bus, 16 res)"], rho)
+    eight = finite_delay(by_label["8 partitions (2 proc/bus, 4 res)"], rho)
+    assert one is not None and two is not None and eight is not None
+    assert eight < two < one
+
+
+def test_fig4_private_bus_crossover(once, curves):
+    """The 'strange behavior' of Fig. 4: 16 private buses with r=2 have
+    worse delay than 2 partitions for rho below 0.64 (few accessible
+    resources are the bottleneck) and cross below them exactly there (the
+    paper reads the crossover at rho = 0.64)."""
+    by_label = series_by_label(curves)
+    private = by_label["16 private buses, r=2"]
+    two = by_label["2 partitions (8 proc/bus, 16 res)"]
+    for rho in (0.24, 0.40, 0.56):
+        assert finite_delay(private, rho) > finite_delay(two, rho)
+    assert finite_delay(private, 0.72) < finite_delay(two, 0.72)
+
+    def restrict(series):
+        points = tuple(p for p in series.points if p.intensity >= 0.3)
+        return type(series)(label=series.label, config=series.config,
+                            mu_ratio=series.mu_ratio, points=points,
+                            method=series.method)
+
+    crossing = once(crossover_intensity, restrict(private), restrict(two))
+    assert crossing is not None
+    assert crossing == pytest.approx(0.64, abs=0.08)
+
+
+def test_fig4_private_bus_approaches_eight_partitions(once, curves):
+    """Above the crossover the r=2 private curve tracks the 8-partition
+    curve ('approaches the delay for the case of 8 partitions')."""
+    by_label = once(series_by_label, curves)
+    private = by_label["16 private buses, r=2"]
+    eight = by_label["8 partitions (2 proc/bus, 4 res)"]
+    rho = 1.04
+    private_delay = finite_delay(private, rho)
+    eight_delay = finite_delay(eight, rho)
+    assert private_delay == pytest.approx(eight_delay, rel=0.25)
+
+
+def test_fig4_doubling_private_resources_halves_delay(once, curves):
+    by_label = once(series_by_label, curves)
+    rho = 0.4
+    r2 = finite_delay(by_label["16 private buses, r=2"], rho)
+    r4 = finite_delay(by_label["16 private buses, r=4"], rho)
+    assert r4 < 0.65 * r2  # "almost halved"
+
+
+def test_fig4_infinite_resources_is_mm1(once, curves):
+    from repro.analysis import workload_at
+    from repro.queueing import mm1_metrics
+    by_label = series_by_label(curves)
+    rho = 0.4
+    measured = finite_delay(by_label["16 private buses, r=inf"], rho)
+    workload = workload_at(rho, 0.1)
+    expected = once(mm1_metrics, workload.arrival_rate, 1.0)
+    assert measured == pytest.approx(
+        expected.mean_waiting_time * workload.service_rate, rel=1e-9)

@@ -1,0 +1,61 @@
+"""E2 — Fig. 5: single-shared-bus delay curves at mu_s/mu_n = 1.0.
+
+Paper claims reproduced here:
+
+* the bus is always the bottleneck: no light-load anomaly, delay falls
+  monotonically as partitions increase;
+* the improvement from infinitely many private resources over r = 4 is
+  very small (data transmission dominates);
+* shared-bus configurations saturate early on the reference axis (one bus
+  serving 16 processors dies at rho ~ 0.094).
+"""
+
+import pytest
+
+from repro.analysis import saturation_intensity
+from repro.config import SystemConfig
+from repro.experiments import figure_series, format_series_table
+from _helpers import finite_delay, series_by_label
+
+GRID = [0.05, 0.08, 0.15, 0.3, 0.6, 0.9, 1.2, 1.35]
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return figure_series("fig5", intensities=GRID)
+
+
+def test_fig5_generation(once):
+    series = once(figure_series, "fig5", intensities=GRID)
+    print()
+    print(format_series_table(series, title="Fig. 5 - SBUS, mu_s/mu_n = 1.0"))
+    assert len(series) == 7
+
+
+def test_fig5_monotone_improvement_with_partitions(once, curves):
+    """No crossing at ratio 1.0: more partitions always help."""
+    by_label = once(series_by_label, curves)
+    rho = 0.15  # the largest load the 2-partition system still survives
+    two = finite_delay(by_label["2 partitions (8 proc/bus, 16 res)"], rho)
+    eight = finite_delay(by_label["8 partitions (2 proc/bus, 4 res)"], rho)
+    private = finite_delay(by_label["16 private buses, r=2"], rho)
+    assert two is not None and eight is not None and private is not None
+    assert private < eight < two
+
+
+def test_fig5_infinite_resources_gain_is_small(once, curves):
+    """'The improvement of using infinitely many resources is very small
+    due to the high data-transmission time.'"""
+    by_label = once(series_by_label, curves)
+    rho = 0.9
+    r4 = finite_delay(by_label["16 private buses, r=4"], rho)
+    unlimited = finite_delay(by_label["16 private buses, r=inf"], rho)
+    assert unlimited <= r4
+    assert (r4 - unlimited) / r4 < 0.10
+
+
+def test_fig5_shared_bus_saturates_early(once):
+    """One bus for 16 processors saturates at rho = 3/32 on this axis."""
+    limit = once(saturation_intensity,
+                 SystemConfig.parse("16/1x1x1 SBUS/32"), 1.0)
+    assert limit == pytest.approx(0.09375)

@@ -1,0 +1,64 @@
+"""E3 — Fig. 7: multiple-shared-bus (crossbar) delay at mu_s/mu_n = 0.1.
+
+Paper claims reproduced here:
+
+* with transmission cheap, the resources are the bottleneck, so
+  partitioning the crossbar into small switches barely affects delay —
+  except under heavy load;
+* the crossbar light-load approximation tracks the simulation for
+  mu_s d <= 1 (Section IV).
+"""
+
+import pytest
+
+from repro.analysis import (
+    crossbar_light_load_delay,
+    workload_at,
+)
+from repro.config import SystemConfig
+from repro.experiments import figure_series, format_series_table
+from _helpers import finite_delay, series_by_label
+
+GRID = [0.3, 0.6, 0.9, 1.05]
+FULL = "16x32 crossbar, private ports"
+SHARED = "16x16 crossbar, shared ports r=2"
+PARTITIONED = "4x (4x4) crossbars, r=2"
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return figure_series("fig7", intensities=GRID, quality="fast")
+
+
+def test_fig7_generation(once):
+    series = once(figure_series, "fig7", intensities=GRID, quality="fast")
+    print()
+    print(format_series_table(series, title="Fig. 7 - XBAR, mu_s/mu_n = 0.1"))
+    assert len(series) == 4
+
+
+def test_fig7_partitioning_cheap_at_light_load(once, curves):
+    by_label = once(series_by_label, curves)
+    rho = 0.3
+    full = finite_delay(by_label[FULL], rho)
+    partitioned = finite_delay(by_label[PARTITIONED], rho)
+    assert partitioned == pytest.approx(full, rel=0.5, abs=0.01)
+
+
+def test_fig7_partitioning_hurts_under_heavy_load(once, curves):
+    by_label = once(series_by_label, curves)
+    rho = 1.05
+    full = finite_delay(by_label[SHARED], rho)
+    partitioned = finite_delay(by_label[PARTITIONED], rho)
+    assert partitioned > 1.3 * full
+
+
+def test_fig7_light_load_approximation_tracks_simulation(once, curves):
+    by_label = series_by_label(curves)
+    rho = 0.6
+    config = SystemConfig.parse("16/1x16x16 XBAR/2")
+    workload = workload_at(rho, 0.1)
+    approx = once(crossbar_light_load_delay, config, workload)
+    simulated = finite_delay(by_label[SHARED], rho)
+    assert approx.mean_delay * workload.service_rate == pytest.approx(
+        simulated, rel=0.35, abs=0.01)

@@ -1,0 +1,56 @@
+"""E4 — Fig. 8: multiple-shared-bus (crossbar) delay at mu_s/mu_n = 1.0.
+
+Paper claims reproduced here:
+
+* with transmission as expensive as service the network is the
+  bottleneck: a private output port per resource (16x32, r=1) gives
+  smaller delay than shared output ports (16x16, r=2);
+* partitioning and adding resources matter little except under heavy
+  load.
+"""
+
+import pytest
+
+from repro.experiments import figure_series, format_series_table
+from _helpers import finite_delay, series_by_label
+
+GRID = [0.4, 0.8, 1.2, 1.35]
+PRIVATE_PORTS = "16x32 crossbar, private ports"
+SHARED_PORTS = "16x16 crossbar, shared ports r=2"
+PARTITIONED = "4x (4x4) crossbars, r=2"
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return figure_series("fig8", intensities=GRID, quality="fast")
+
+
+def test_fig8_generation(once):
+    series = once(figure_series, "fig8", intensities=GRID, quality="fast")
+    print()
+    print(format_series_table(series, title="Fig. 8 - XBAR, mu_s/mu_n = 1.0"))
+    assert len(series) == 4
+
+
+def test_fig8_private_ports_beat_shared_ports_when_loaded(once, curves):
+    by_label = once(series_by_label, curves)
+    rho = 1.2
+    private = finite_delay(by_label[PRIVATE_PORTS], rho)
+    shared = finite_delay(by_label[SHARED_PORTS], rho)
+    assert private <= shared * 1.02
+
+
+def test_fig8_partitioning_cheap_at_light_load(once, curves):
+    by_label = once(series_by_label, curves)
+    rho = 0.4
+    full = finite_delay(by_label[SHARED_PORTS], rho)
+    partitioned = finite_delay(by_label[PARTITIONED], rho)
+    assert partitioned == pytest.approx(full, rel=0.5, abs=0.02)
+
+
+def test_fig8_delay_grows_with_load(once, curves):
+    by_label = once(series_by_label, curves)
+    series = by_label[PRIVATE_PORTS]
+    delays = [p.normalized_delay for p in series.finite_points()]
+    assert delays == sorted(delays)
+    assert delays[-1] > 3 * delays[0]

@@ -1,0 +1,61 @@
+"""E6 — Fig. 12: Omega-network delay at mu_s/mu_n = 0.1.
+
+Paper claims reproduced here:
+
+* very little difference between eight 2x2 networks and one 16x16 network
+  except when the load is heavy — so multiple small networks are the
+  cost-effective choice;
+* with the resources the bottleneck, the Omega network's delay is close
+  to the non-blocking crossbar's ("the delay only increases slightly when
+  the load is light").
+"""
+
+import pytest
+
+from repro.experiments import figure_series, format_series_table
+from _helpers import finite_delay, series_by_label
+
+GRID = [0.3, 0.6, 0.9, 1.05]
+BIG = "16x16 Omega, r=2"
+SMALL = "8x (2x2) Omega, r=2"
+XBAR = "16x16 crossbar reference, r=2"
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return figure_series("fig12", intensities=GRID, quality="fast")
+
+
+def test_fig12_generation(once):
+    series = once(figure_series, "fig12", intensities=GRID, quality="fast")
+    print()
+    print(format_series_table(series, title="Fig. 12 - OMEGA, mu_s/mu_n = 0.1"))
+    assert len(series) == 4
+
+
+def test_fig12_small_networks_match_big_at_light_load(once, curves):
+    """Indistinguishable at the figure's scale: the paper's y-axis spans
+    several service times; at light load both configurations sit within a
+    few hundredths of zero."""
+    by_label = once(series_by_label, curves)
+    rho = 0.3
+    big = finite_delay(by_label[BIG], rho)
+    small = finite_delay(by_label[SMALL], rho)
+    assert abs(small - big) < 0.05
+    assert small < 0.1 and big < 0.1
+
+
+def test_fig12_small_networks_pay_under_heavy_load(once, curves):
+    by_label = once(series_by_label, curves)
+    rho = 1.05
+    big = finite_delay(by_label[BIG], rho)
+    small = finite_delay(by_label[SMALL], rho)
+    assert small > big
+
+
+def test_fig12_omega_close_to_crossbar(once, curves):
+    by_label = once(series_by_label, curves)
+    for rho in (0.3, 0.6):
+        omega = finite_delay(by_label[BIG], rho)
+        crossbar = finite_delay(by_label[XBAR], rho)
+        assert omega == pytest.approx(crossbar, rel=0.5, abs=0.01)

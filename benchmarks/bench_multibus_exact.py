@@ -1,0 +1,75 @@
+"""E20 — Section IV's exact analysis "when m is very small", carried out.
+
+The paper stops at "the analysis method shown in the last section can
+only be applied when m is very small" and falls back to simulation.  This
+benchmark applies it: the exact multiple-bus chain (state space
+(r+1)^m-ish per level, m <= 4) against the crossbar event simulator,
+plus the pooling comparison the approximations of Section IV gesture at.
+"""
+
+import pytest
+
+from repro.core import simulate
+from repro.markov import solve_multibus, solve_sbus
+from repro.workload import Workload
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    aggregate = 0.70
+    workload = Workload(arrival_rate=aggregate / 16, transmission_rate=1.0,
+                        service_rate=0.15)
+    simulated = simulate("16/1x16x2 XBAR/3", workload, horizon=150_000.0,
+                         warmup=10_000.0, seed=13)
+    exact = solve_multibus(aggregate, 1.0, 0.15, buses=2, resources_per_bus=3)
+    return simulated, exact
+
+
+def test_exact_chain_vs_simulation(once, comparison):
+    simulated, exact = comparison
+    rows = once(lambda: {
+        "chain d": exact.mean_delay,
+        "simulated d": simulated.mean_queueing_delay,
+        "chain bus util": exact.bus_utilization,
+        "simulated bus util": simulated.bus_utilization,
+    })
+    print()
+    for name, value in rows.items():
+        print(f"  {name:<20} {value:.4f}")
+    assert simulated.mean_queueing_delay == pytest.approx(
+        exact.mean_delay, rel=0.12)
+    assert simulated.bus_utilization == pytest.approx(
+        exact.bus_utilization, rel=0.05)
+
+
+def test_state_space_growth_is_the_papers_obstacle(once):
+    """Why the paper gave up on m beyond 'very small': measured state
+    counts of the truncated chain grow geometrically with m."""
+    from repro.markov.ctmc import FiniteCTMC
+    from repro.markov.multibus_chain import MultibusChain
+
+    def count_states(buses):
+        chain = MultibusChain(0.4, 1.0, 0.3, buses, 2)
+        ctmc = FiniteCTMC(chain.transitions,
+                          initial_states=[chain.initial_state()],
+                          state_filter=lambda s: chain.level(s) <= 24)
+        return ctmc.num_states
+
+    counts = once(lambda: [count_states(m) for m in (1, 2, 3)])
+    print(f"\n  truncated state counts for m = 1, 2, 3: {counts}")
+    # Geometric growth: each added bus multiplies the per-level states.
+    assert counts[1] > 2.5 * counts[0]
+    assert counts[2] > 2.5 * counts[1]
+
+
+def test_bus_pooling_effect(once):
+    """Splitting one 4-resource bus into two 2-resource buses removes bus
+    serialization and cuts the delay (the multi-bus payoff)."""
+    def both():
+        one = solve_sbus(0.5, 1.0, 0.3, 4)
+        two = solve_multibus(0.5, 1.0, 0.3, buses=2, resources_per_bus=2)
+        return one.mean_delay, two.mean_delay
+
+    one_bus, two_buses = once(both)
+    print(f"\n  one bus: d = {one_bus:.4f}   two buses: d = {two_buses:.4f}")
+    assert two_buses < one_bus

@@ -1,0 +1,75 @@
+"""E9 — Table II: network selection across cost regimes and mu_s/mu_n.
+
+The quantitative advisor prices five candidate configurations under three
+resource-cost regimes, measures their delay by simulation (exact chain for
+buses), and picks the cheapest candidate within 15% of the best delay.
+
+Expected agreement with the paper's table: five of six cells.  The sixth
+(comparable costs, large ratio) comes out a statistical tie on our
+substrate: a 2-partition 8x8 Omega with 3 resources per port blocks under
+1% even at 95% load, so it is performance-equivalent to the partitioned
+crossbar and wins on cost.  At single-network scale (16x16) the crossbar
+advantage at large mu_s/mu_n is decisive — that cell does match — so the
+deviation is a property of small partitions, not of the advisor.
+See EXPERIMENTS.md for the measured numbers.
+"""
+
+import pytest
+
+from repro.analysis import CostRegime, NetworkClass
+from repro.experiments import format_mapping, table2_selection
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table2_selection(horizon=20_000.0)
+
+
+def test_table2_selection_grid(once, rows):
+    printed = once(format_mapping, rows)
+    print()
+    print(printed)
+    assert len(rows) == 6
+
+
+def test_table2_private_bus_regime(once, rows):
+    matching = once(
+        lambda: [row for row in rows
+                 if row["regime"] is CostRegime.NETWORK_EXPENSIVE])
+    for row in matching:
+        assert row["winner_class"] is NetworkClass.PRIVATE_BUS
+        assert row["winner_class"] is row["paper_class"]
+
+
+def test_table2_cheap_network_regime(once, rows):
+    matching = once(
+        lambda: {row["mu_ratio"]: row for row in rows
+                 if row["regime"] is CostRegime.NETWORK_CHEAP})
+    assert matching[0.1]["winner_class"] is NetworkClass.SINGLE_MULTISTAGE
+    assert matching[4.0]["winner_class"] is NetworkClass.SINGLE_CROSSBAR
+
+
+def test_table2_comparable_regime_small_ratio(once, rows):
+    matching = once(
+        lambda: {row["mu_ratio"]: row for row in rows
+                 if row["regime"] is CostRegime.COMPARABLE})
+    assert matching[0.1]["winner_class"] is NetworkClass.PARTITIONED_MULTISTAGE
+
+
+def test_table2_comparable_regime_large_ratio_is_partitioned(once, rows):
+    """The documented deviation: the advisor still picks a *partitioned*
+    system with extra resources (as the paper's row does); on our
+    substrate the multistage/crossbar halves of that row tie."""
+    matching = once(
+        lambda: {row["mu_ratio"]: row for row in rows
+                 if row["regime"] is CostRegime.COMPARABLE})
+    winner = matching[4.0]["winner_class"]
+    assert winner in (NetworkClass.PARTITIONED_MULTISTAGE,
+                      NetworkClass.PARTITIONED_CROSSBAR)
+
+
+def test_table2_overall_agreement(once, rows):
+    agreement = once(
+        lambda: sum(1 for row in rows
+                    if row["winner_class"] is row["paper_class"]))
+    assert agreement >= 5

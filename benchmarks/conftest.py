@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(figure, table, or in-text claim), prints the reproduced rows/series, and
+asserts the qualitative *shape* the paper reports — who wins, by roughly
+what factor, where crossovers fall.  Absolute numbers are not compared
+(our substrate is a from-scratch simulator, not the authors' testbed).
+
+Benchmarks run the generating function exactly once (``pedantic`` with one
+round): the interesting measurement is the cost of regenerating the
+artifact, not micro-timing stability.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable once under the benchmark clock and return its result."""
+
+    def run(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,53 @@
+"""Load balancing: processors are the resources.
+
+The paper's second motivating application: when a processor is
+overloaded, the excess work is shipped to *any* idle peer.  Here shipped
+jobs carry their state, so transmission is as expensive as execution
+(mu_s / mu_n = 1) — the regime of Figs. 5, 8 and 13, where the
+interconnect is the bottleneck and arbitration fairness matters.
+
+The example contrasts the crossbar hardware's asymmetric priority (the
+wavefront always favours low-numbered processors) with the POLYP-style
+token scheme (uniformly random) and an idealized FIFO arbiter, measuring
+the *per-processor* mean queueing delay: the mean over all tasks is the
+same, but under the asymmetric design, high-numbered processors wait
+systematically longer.
+
+Run:  python examples/load_balancing.py
+"""
+
+from repro import RsinSystem, SystemConfig, Workload
+
+
+def run_policy(arbitration: str, seed: int = 11):
+    """Simulate a heavily loaded shared-bus cluster under one policy."""
+    # 8 processors shed work onto peers hanging on a single shared bus
+    # (so every wakeup is contended and arbitration actually decides).
+    config = SystemConfig.parse("8/1x1x1 SBUS/8")
+    workload = Workload(arrival_rate=0.095, transmission_rate=1.0,
+                        service_rate=1.0)
+    system = RsinSystem(config, workload, seed=seed, arbitration=arbitration)
+    result = system.run(horizon=60_000.0, warmup=6_000.0)
+    per_processor = [tally.mean for tally in system.processor_delays]
+    return result, per_processor
+
+
+def main() -> None:
+    print("Load balancing over one shared bus (mu_s/mu_n = 1, ~76% bus load)")
+    print()
+    for policy in ("priority", "random", "fifo"):
+        result, per_processor = run_policy(policy)
+        spread = max(per_processor) / min(per_processor)
+        cells = " ".join(f"{delay:6.2f}" for delay in per_processor)
+        print(f"policy={policy:<9} overall d={result.mean_queueing_delay:6.2f}  "
+              f"max/min across processors = {spread:4.2f}")
+        print(f"  per-processor mean delay: {cells}")
+    print()
+    print("All policies move the same work at the same overall delay; the")
+    print("asymmetric wavefront makes processor 7 wait noticeably longer")
+    print("than processor 0 -- the unfairness the paper fixes with the")
+    print("Heidelberg POLYP's circulating-token arbiter (Section IV).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Heterogeneous function units: the multiple-resource-types extension.
+
+The paper's algorithms "can be extended easily to systems with multiple
+types of resources" by tagging requests with a type number and keeping one
+availability register per type in every interchange box (end of Section V).
+This example runs that extension: a pool of FFT, matrix-inversion and
+sorting units spread over the output ports of an 8x8 Omega network, with a
+batch of typed requests resolved by the clocked distributed scheduler.
+
+Run:  python examples/typed_function_units.py
+"""
+
+from repro import ClockedMultistageScheduler, OmegaTopology
+
+# Units attached to each output port: a deliberately uneven layout.
+PORT_UNITS = {
+    0: {"fft": 2},
+    1: {"fft": 1, "sort": 1},
+    3: {"matinv": 1},
+    5: {"sort": 2},
+    6: {"matinv": 1, "fft": 1},
+}
+
+# One request per processor, each wanting a specific kind of unit.
+REQUESTS = [
+    (0, "fft"),
+    (1, "matinv"),
+    (2, "sort"),
+    (4, "fft"),
+    (5, "matinv"),
+    (7, "sort"),
+]
+
+
+def main() -> None:
+    print("Typed resource scheduling on an 8x8 Omega network")
+    print()
+    print("units on ports:")
+    for port, units in sorted(PORT_UNITS.items()):
+        listing = ", ".join(f"{count}x {kind}" for kind, count in units.items())
+        print(f"  port {port}: {listing}")
+    print()
+    scheduler = ClockedMultistageScheduler(OmegaTopology(8), PORT_UNITS)
+    result = scheduler.run(REQUESTS)
+    print("requests:")
+    for outcome in sorted(result.outcomes.values(), key=lambda o: o.source):
+        if outcome.allocated:
+            print(f"  P{outcome.source} wants {outcome.resource_type:<7}"
+                  f" -> port {outcome.port} ({outcome.hops} boxes)")
+        else:
+            print(f"  P{outcome.source} wants {outcome.resource_type:<7}"
+                  f" -> BLOCKED after {outcome.hops} boxes")
+    print()
+    print(f"allocated {len(result.allocated)} of {len(REQUESTS)} "
+          f"in {result.ticks} ticks; average {result.average_hops:.2f} boxes")
+    print()
+    print("Each box keeps one availability register per (output port, type);")
+    print("queries carry their type and only follow matching registers --")
+    print("the per-type status waves run concurrently, so the overhead is")
+    print("O(t log N) control state, not extra scheduling passes.")
+
+
+if __name__ == "__main__":
+    main()

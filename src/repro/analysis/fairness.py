@@ -1,0 +1,56 @@
+"""Fairness measures for arbitration-policy studies (Section IV).
+
+The paper notes the wavefront crossbar "favors processors with small index
+numbers" and proposes the POLYP token scheme to randomize access.  These
+helpers quantify that: Jain's fairness index over per-processor mean
+delays, plus the max/min spread the examples print.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from repro.core.system import RsinSystem
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n sum x^2)`` in (0, 1].
+
+    1 means perfectly equal; ``1/n`` means one party gets everything.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v < 0 for v in values):
+        raise ValueError("values must be non-negative")
+    square_of_sum = sum(values) ** 2
+    sum_of_squares = sum(v * v for v in values)
+    if sum_of_squares == 0:
+        return 1.0
+    return square_of_sum / (len(values) * sum_of_squares)
+
+
+def delay_spread(values: Sequence[float]) -> float:
+    """max/min ratio of per-processor delays (inf when someone waits 0)."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("need at least one value")
+    low = min(values)
+    if low <= 0:
+        return math.inf
+    return max(values) / low
+
+
+def fairness_report(system: RsinSystem) -> Dict[str, float]:
+    """Summarize per-processor delay fairness of a finished simulation."""
+    delays = [tally.mean for tally in system.processor_delays]
+    finite = [d for d in delays if d == d]  # drop NaN (idle processors)
+    if not finite:
+        raise ValueError("no per-processor delays recorded (run first)")
+    return {
+        "jain_index": jain_index(finite),
+        "spread": delay_spread(finite),
+        "best": min(finite),
+        "worst": max(finite),
+    }

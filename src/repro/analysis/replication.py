@@ -1,0 +1,116 @@
+"""Replication methodology: CI-driven sequential simulation.
+
+The figure benchmarks use single long runs with batch-means intervals; for
+point estimates that must carry a defensible confidence interval (the
+EXPERIMENTS.md tables), the textbook-correct procedure is independent
+replications with a sequential stopping rule: keep adding replications
+until the Student-t interval on the mean queueing delay is narrower than
+the requested relative half-width.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.config import SystemConfig
+from repro.core.system import simulate
+from repro.errors import AnalysisError, ConfigurationError
+from repro.sim.stats import confidence_interval
+from repro.workload.arrivals import Workload
+
+
+@dataclass(frozen=True)
+class ReplicationEstimate:
+    """A mean-delay estimate from independent replications."""
+
+    mean_delay: float
+    ci_halfwidth: float
+    replications: int
+    values: Tuple[float, ...]
+
+    @property
+    def relative_halfwidth(self) -> float:
+        """Half-width as a fraction of the mean (inf for a zero mean)."""
+        if self.mean_delay == 0:
+            return math.inf
+        return self.ci_halfwidth / abs(self.mean_delay)
+
+    def normalized(self, service_rate: float) -> Tuple[float, float]:
+        """(mu_s * d, mu_s * halfwidth) for the paper's y-axis."""
+        return (self.mean_delay * service_rate,
+                self.ci_halfwidth * service_rate)
+
+
+def replicate_delay(config: Union[SystemConfig, str], workload: Workload,
+                    horizon: float, warmup: float,
+                    target_relative_halfwidth: float = 0.05,
+                    confidence: float = 0.95,
+                    min_replications: int = 5, max_replications: int = 50,
+                    base_seed: int = 100,
+                    arbitration: str = "priority") -> ReplicationEstimate:
+    """Sequentially replicate until the delay CI is tight enough.
+
+    Each replication uses an independent seed (``base_seed + i``); the
+    procedure stops at the first point past ``min_replications`` where the
+    Student-t interval's relative half-width drops below the target, and
+    raises if ``max_replications`` cannot achieve it (the caller should
+    lengthen the horizon instead of silently accepting a loose answer).
+    """
+    if isinstance(config, str):
+        config = SystemConfig.parse(config)
+    if not 0 < target_relative_halfwidth < 1:
+        raise ConfigurationError(
+            f"target relative half-width must be in (0, 1), "
+            f"got {target_relative_halfwidth}")
+    if min_replications < 2:
+        raise ConfigurationError("need at least 2 replications for a CI")
+    values: List[float] = []
+    for replication in range(max_replications):
+        result = simulate(config, workload, horizon=horizon, warmup=warmup,
+                          seed=base_seed + replication,
+                          arbitration=arbitration)
+        values.append(result.mean_queueing_delay)
+        if len(values) < min_replications:
+            continue
+        mean, halfwidth = confidence_interval(values, confidence=confidence)
+        if mean > 0 and halfwidth / mean <= target_relative_halfwidth:
+            return ReplicationEstimate(mean_delay=mean,
+                                       ci_halfwidth=halfwidth,
+                                       replications=len(values),
+                                       values=tuple(values))
+    mean, halfwidth = confidence_interval(values, confidence=confidence)
+    raise AnalysisError(
+        f"CI still {halfwidth / mean:.1%} of the mean after "
+        f"{max_replications} replications (target "
+        f"{target_relative_halfwidth:.1%}); lengthen the horizon")
+
+
+def compare_with_replications(first: Union[SystemConfig, str],
+                              second: Union[SystemConfig, str],
+                              workload: Workload, horizon: float,
+                              warmup: float,
+                              confidence: float = 0.95,
+                              replications: int = 10,
+                              base_seed: int = 100) -> Tuple[float, float, bool]:
+    """Paired-seed comparison of two configurations.
+
+    Runs both systems on common random numbers (same seed per pair) and
+    returns ``(mean difference first - second, CI half-width,
+    significantly_different)``.  Pairing cancels workload noise, so far
+    fewer replications resolve an ordering than independent runs would.
+    """
+    if replications < 2:
+        raise ConfigurationError("need at least 2 paired replications")
+    differences: List[float] = []
+    for replication in range(replications):
+        seed = base_seed + replication
+        first_result = simulate(first, workload, horizon=horizon,
+                                warmup=warmup, seed=seed)
+        second_result = simulate(second, workload, horizon=horizon,
+                                 warmup=warmup, seed=seed)
+        differences.append(first_result.mean_queueing_delay
+                           - second_result.mean_queueing_delay)
+    mean, halfwidth = confidence_interval(differences, confidence=confidence)
+    return mean, halfwidth, abs(mean) > halfwidth

@@ -1,0 +1,156 @@
+"""Parameter sweeps: delay-versus-traffic-intensity series.
+
+This is the machinery behind every delay figure: fix ``mu_s / mu_n``, sweep
+the traffic intensity of the hypothetical combined server (the paper's
+x-axis), and record the normalized queueing delay ``mu_s * d`` for each
+configuration — analytically where the configuration decomposes into
+independent buses, by event simulation otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.approximations import saturation_intensity, sbus_delay
+from repro.config import SystemConfig
+from repro.core.system import simulate
+from repro.errors import UnstableSystemError
+from repro.queueing.littles_law import arrival_rate_for_intensity
+from repro.workload.arrivals import Workload
+
+#: Number of resources in the x-axis reference system (the paper's 32).
+REFERENCE_RESOURCES = 32
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (x, y) point: traffic intensity and normalized delay.
+
+    A ``None`` delay marks a saturated configuration at this intensity
+    (the paper's curves simply end where they blow up).
+    """
+
+    intensity: float
+    normalized_delay: Optional[float]
+    ci_halfwidth: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class Series:
+    """A labelled delay curve for one configuration."""
+
+    label: str
+    config: SystemConfig
+    mu_ratio: float
+    points: Tuple[SweepPoint, ...]
+    method: str
+
+    def finite_points(self) -> List[SweepPoint]:
+        """Points below saturation."""
+        return [p for p in self.points if p.normalized_delay is not None]
+
+
+def workload_at(intensity: float, mu_ratio: float,
+                processors: int = 16,
+                reference_resources: int = REFERENCE_RESOURCES) -> Workload:
+    """Workload hitting ``intensity`` on the paper's reference axis.
+
+    Transmission rate is normalized to 1; the service rate is then
+    ``mu_ratio`` and the per-processor arrival rate follows from the
+    x-axis definition.
+    """
+    transmission_rate = 1.0
+    service_rate = mu_ratio * transmission_rate
+    arrival = arrival_rate_for_intensity(
+        intensity, processors=processors, bus_rate=transmission_rate,
+        total_resources=reference_resources, service_rate=service_rate)
+    return Workload(arrival_rate=arrival, transmission_rate=transmission_rate,
+                    service_rate=service_rate)
+
+
+def analytic_series(config: Union[SystemConfig, str], mu_ratio: float,
+                    intensities: Sequence[float],
+                    label: Optional[str] = None) -> Series:
+    """Exact Markov-chain delay curve (SBUS configurations)."""
+    if isinstance(config, str):
+        config = SystemConfig.parse(config)
+    points: List[SweepPoint] = []
+    for intensity in intensities:
+        workload = workload_at(intensity, mu_ratio, processors=config.processors)
+        try:
+            estimate = sbus_delay(config, workload)
+            points.append(SweepPoint(
+                intensity=intensity,
+                normalized_delay=estimate.mean_delay * workload.service_rate))
+        except UnstableSystemError:
+            points.append(SweepPoint(intensity=intensity, normalized_delay=None))
+    return Series(label=label or str(config), config=config, mu_ratio=mu_ratio,
+                  points=tuple(points), method="markov-chain")
+
+
+def simulated_series(config: Union[SystemConfig, str], mu_ratio: float,
+                     intensities: Sequence[float], label: Optional[str] = None,
+                     horizon: float = 30_000.0, warmup_fraction: float = 0.1,
+                     seed: int = 1, arbitration: str = "priority",
+                     saturation_guard: float = 0.98) -> Series:
+    """Event-simulation delay curve (crossbar / multistage configurations).
+
+    Points at or beyond ``saturation_guard`` times the configuration's
+    saturation intensity are reported as saturated rather than burning
+    simulation time on a queue that only grows.
+    """
+    if isinstance(config, str):
+        config = SystemConfig.parse(config)
+    limit = saturation_guard * saturation_intensity(config, mu_ratio)
+    points: List[SweepPoint] = []
+    for intensity in intensities:
+        if intensity >= limit:
+            points.append(SweepPoint(intensity=intensity, normalized_delay=None))
+            continue
+        workload = workload_at(intensity, mu_ratio, processors=config.processors)
+        result = simulate(config, workload, horizon=horizon,
+                          warmup=horizon * warmup_fraction, seed=seed,
+                          arbitration=arbitration)
+        points.append(SweepPoint(
+            intensity=intensity,
+            normalized_delay=result.normalized_delay,
+            ci_halfwidth=result.delay_ci_halfwidth * workload.service_rate))
+    return Series(label=label or str(config), config=config, mu_ratio=mu_ratio,
+                  points=tuple(points), method="event-simulation")
+
+
+def series_for(config: Union[SystemConfig, str], mu_ratio: float,
+               intensities: Sequence[float], label: Optional[str] = None,
+               **simulation_options) -> Series:
+    """Dispatch: exact chain for buses, simulation for switched fabrics."""
+    if isinstance(config, str):
+        config = SystemConfig.parse(config)
+    if config.network_type == "SBUS":
+        return analytic_series(config, mu_ratio, intensities, label=label)
+    return simulated_series(config, mu_ratio, intensities, label=label,
+                            **simulation_options)
+
+
+def crossover_intensity(first: Series, second: Series) -> Optional[float]:
+    """Approximate intensity where two curves cross (None if they do not).
+
+    Scans shared finite x-points for a sign change of the delay difference
+    and linearly interpolates within the bracketing interval.
+    """
+    shared = []
+    second_by_x = {p.intensity: p for p in second.points}
+    for point in first.points:
+        other = second_by_x.get(point.intensity)
+        if (other is None or point.normalized_delay is None
+                or other.normalized_delay is None):
+            continue
+        shared.append((point.intensity,
+                       point.normalized_delay - other.normalized_delay))
+    for (x0, d0), (x1, d1) in zip(shared, shared[1:]):
+        if d0 == 0:
+            return x0
+        if d0 * d1 < 0:
+            return x0 + (x1 - x0) * abs(d0) / (abs(d0) + abs(d1))
+    return None

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``list``       — show every registered experiment id;
+* ``experiment`` — regenerate one of the paper's tables/figures;
+* ``simulate``   — run one configuration at a load point;
+* ``solve``      — exact Markov-chain analysis of a shared bus;
+* ``recommend``  — the Table II advisor over the standard candidates;
+* ``blocking``   — the Section V blocking comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Resource-sharing interconnection networks: a "
+                     "reproduction of Wah (1983)."),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list experiment ids")
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a table or figure")
+    experiment.add_argument("exp_id", help="experiment id (see 'list')")
+    experiment.add_argument("--quality", default="fast",
+                            choices=["fast", "normal", "full"])
+    experiment.add_argument("--plot", action="store_true",
+                            help="draw delay figures as an ASCII chart")
+
+    simulate = commands.add_parser(
+        "simulate", help="simulate one configuration at a load point")
+    simulate.add_argument("config", help="triplet, e.g. '16/1x16x16 OMEGA/2'")
+    simulate.add_argument("--rho", type=float, default=0.5,
+                          help="traffic intensity on the paper's axis")
+    simulate.add_argument("--ratio", type=float, default=0.1,
+                          help="mu_s / mu_n")
+    simulate.add_argument("--horizon", type=float, default=30_000.0)
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument("--arbitration", default="priority",
+                          choices=["priority", "random", "fifo"])
+
+    solve = commands.add_parser(
+        "solve", help="exact shared-bus Markov analysis")
+    solve.add_argument("arrival", type=float, help="aggregate arrival rate")
+    solve.add_argument("transmission", type=float, help="mu_n")
+    solve.add_argument("service", type=float, help="mu_s")
+    solve.add_argument("resources", type=int, help="resources on the bus")
+    solve.add_argument("--method", default="matrix-geometric",
+                       choices=["matrix-geometric", "truncated-direct",
+                                "stage-recursion"])
+
+    recommend = commands.add_parser(
+        "recommend", help="Table II advisor over the standard candidates")
+    recommend.add_argument("--resource-cost", type=float, required=True,
+                           help="cost of one resource in crosspoints")
+    recommend.add_argument("--ratio", type=float, default=0.1)
+    recommend.add_argument("--rho", type=float, default=0.8)
+
+    blocking = commands.add_parser(
+        "blocking", help="Section V blocking comparison")
+    blocking.add_argument("--size", type=int, default=8)
+    blocking.add_argument("--trials", type=int, default=200)
+    return parser
+
+
+def _command_list(_args) -> int:
+    from repro.experiments import EXPERIMENT_IDS
+    for exp_id in EXPERIMENT_IDS:
+        print(exp_id)
+    return 0
+
+
+def _command_experiment(args) -> int:
+    from repro.experiments import FIGURE_SPECS, run_experiment
+    result = run_experiment(args.exp_id, quality=args.quality)
+    print(result.report)
+    if args.plot and args.exp_id in FIGURE_SPECS:
+        from repro.experiments.render import render_series
+        print()
+        print(render_series(result.data, title=result.description))
+    return 0
+
+
+def _command_simulate(args) -> int:
+    from repro.analysis import workload_at
+    from repro.config import SystemConfig
+    from repro.core import simulate
+    config = SystemConfig.parse(args.config)
+    workload = workload_at(args.rho, args.ratio, processors=config.processors)
+    result = simulate(config, workload, horizon=args.horizon,
+                      warmup=args.horizon * 0.1, seed=args.seed,
+                      arbitration=args.arbitration)
+    print(f"configuration   : {config}")
+    print(f"traffic rho     : {args.rho} (mu_s/mu_n = {args.ratio})")
+    print(f"result          : {result}")
+    return 0
+
+
+def _command_solve(args) -> int:
+    from repro.markov import solve_sbus
+    solution = solve_sbus(args.arrival, args.transmission, args.service,
+                          args.resources, method=args.method)
+    print(f"method                 : {solution.method}")
+    print(f"mean queueing delay d  : {solution.mean_delay:.6f}")
+    print(f"normalized mu_s * d    : {solution.normalized_delay:.6f}")
+    print(f"mean queue length      : {solution.mean_queue_length:.6f}")
+    print(f"bus utilization        : {solution.bus_utilization:.6f}")
+    print(f"resource utilization   : {solution.resource_utilization:.6f}")
+    return 0
+
+
+def _command_recommend(args) -> int:
+    from repro.analysis import CostModel, recommend
+    from repro.analysis.selection import classify
+    from repro.analysis.sweep import workload_at
+    from repro.config import SystemConfig
+    from repro.experiments.figures import TABLE2_CANDIDATES
+    candidates = [SystemConfig.parse(text) for text in TABLE2_CANDIDATES]
+    workload = workload_at(args.rho, args.ratio)
+    model = CostModel(resource_unit_cost=args.resource_cost,
+                      bus_tap_cost=0.25)
+    recommendation = recommend(candidates, workload, model)
+    print(f"build: {recommendation.winner.config}  "
+          f"[{classify(recommendation.winner.config).value}]")
+    for evaluation in recommendation.ranking:
+        marker = "*" if evaluation is recommendation.winner else " "
+        print(f" {marker} {str(evaluation.config):<22} "
+              f"cost {evaluation.cost:>8.1f}  d = {evaluation.mean_delay:.4f}")
+    return 0
+
+
+def _command_blocking(args) -> int:
+    from repro.analysis import blocking_comparison, full_permutation_blocking
+    from repro.experiments import format_blocking_table
+    points = blocking_comparison(size=args.size,
+                                 request_sizes=(3, 4, 5, 6),
+                                 trials=args.trials)
+    full = full_permutation_blocking(size=args.size, trials=args.trials)
+    print(format_blocking_table(points, full=full))
+    return 0
+
+
+_COMMANDS = {
+    "list": _command_list,
+    "experiment": _command_experiment,
+    "simulate": _command_simulate,
+    "solve": _command_solve,
+    "recommend": _command_recommend,
+    "blocking": _command_blocking,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

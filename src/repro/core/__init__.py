@@ -1,0 +1,53 @@
+"""The RSIN core: system model, task life cycle, metrics, schedulers."""
+
+from repro.core.central_system import (
+    CentralizedSchedulerSystem,
+    simulate_centralized,
+)
+from repro.core.cycle_system import (
+    CycleAccurateCrossbarSystem,
+    simulate_cycle_accurate,
+)
+from repro.core.metrics import MetricsCollector, SimulationResult, summarize
+from repro.core.multi_resource import MultiResourceSystem, simulate_multi_resource
+from repro.core.packet_system import PacketSwitchedSystem, simulate_packet_switched
+from repro.core.scheduler import (
+    CentralizedOutcome,
+    centralized_multistage,
+    distributed_crossbar_delay,
+    distributed_multistage_delay,
+    priority_circuit_crossbar,
+    tree_allocator,
+)
+from repro.core.system import (
+    ARBITRATION_POLICIES,
+    RsinSystem,
+    build_fabric,
+    simulate,
+)
+from repro.core.task import Task
+
+__all__ = [
+    "RsinSystem",
+    "simulate",
+    "PacketSwitchedSystem",
+    "simulate_packet_switched",
+    "CycleAccurateCrossbarSystem",
+    "simulate_cycle_accurate",
+    "CentralizedSchedulerSystem",
+    "simulate_centralized",
+    "MultiResourceSystem",
+    "simulate_multi_resource",
+    "build_fabric",
+    "ARBITRATION_POLICIES",
+    "Task",
+    "MetricsCollector",
+    "SimulationResult",
+    "summarize",
+    "CentralizedOutcome",
+    "priority_circuit_crossbar",
+    "tree_allocator",
+    "centralized_multistage",
+    "distributed_crossbar_delay",
+    "distributed_multistage_delay",
+]

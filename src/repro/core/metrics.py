@@ -1,0 +1,108 @@
+"""Measurement plumbing for the RSIN system simulator."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.stats import BatchMeans, TallyStat, TimeWeightedStat
+
+
+class MetricsCollector:
+    """Collects the observables the paper's figures are built from."""
+
+    def __init__(self, service_rate: float, num_batches: int = 20):
+        self.service_rate = service_rate
+        self.queueing_delay = TallyStat("queueing delay")
+        self.response_time = TallyStat("response time")
+        self.delay_batches = BatchMeans(num_batches=num_batches)
+        self.queue_length = TimeWeightedStat(name="queued tasks")
+        self.busy_buses = TimeWeightedStat(name="transmitting buses")
+        self.busy_resources = TimeWeightedStat(name="busy resources")
+        self.completed_tasks = 0
+        self.generated_tasks = 0
+
+    # -- event hooks -------------------------------------------------------
+    def task_generated(self, now: float) -> None:
+        """An arrival joined a processor queue."""
+        self.generated_tasks += 1
+        self.queue_length.add(1.0, now)
+
+    def transmission_started(self, now: float, waited: float) -> None:
+        """A queued task acquired a connection."""
+        self.queueing_delay.record(waited)
+        self.delay_batches.record(waited)
+        self.queue_length.add(-1.0, now)
+        self.busy_buses.add(1.0, now)
+
+    def transmission_finished(self, now: float) -> None:
+        """A task finished holding the bus; its resource starts serving."""
+        self.busy_buses.add(-1.0, now)
+        self.busy_resources.add(1.0, now)
+
+    def service_finished(self, now: float, response_time: float) -> None:
+        """A resource finished a task."""
+        self.busy_resources.add(-1.0, now)
+        self.response_time.record(response_time)
+        self.completed_tasks += 1
+
+    def reset(self, now: float) -> None:
+        """Discard the warm-up transient."""
+        self.queueing_delay.reset()
+        self.response_time.reset()
+        self.delay_batches = BatchMeans(self.delay_batches.num_batches)
+        self.queue_length.reset(now)
+        self.busy_buses.reset(now)
+        self.busy_resources.reset(now)
+        self.completed_tasks = 0
+        self.generated_tasks = 0
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Summary of one simulation run (after warm-up truncation)."""
+
+    mean_queueing_delay: float
+    delay_ci_halfwidth: float
+    normalized_delay: float
+    mean_response_time: float
+    mean_queue_length: float
+    bus_utilization: float
+    resource_utilization: float
+    network_blocking_fraction: float
+    completed_tasks: int
+    simulated_time: float
+
+    def __str__(self) -> str:
+        return (
+            f"d={self.mean_queueing_delay:.4f} (+/-{self.delay_ci_halfwidth:.4f}), "
+            f"mu_s*d={self.normalized_delay:.4f}, "
+            f"rho_bus={self.bus_utilization:.3f}, "
+            f"rho_res={self.resource_utilization:.3f}, "
+            f"blocked={self.network_blocking_fraction:.3f}, "
+            f"n={self.completed_tasks}"
+        )
+
+
+def summarize(collector: MetricsCollector, now: float, total_buses: int,
+              total_resources: float, blocking_fraction: float) -> SimulationResult:
+    """Fold a collector into an immutable result."""
+    half_width, _mean = collector.delay_batches.interval()
+    busy_bus_average = collector.busy_buses.time_average(now)
+    busy_resource_average = collector.busy_resources.time_average(now)
+    delay = collector.queueing_delay.mean
+    return SimulationResult(
+        mean_queueing_delay=delay,
+        delay_ci_halfwidth=half_width,
+        normalized_delay=delay * collector.service_rate,
+        mean_response_time=collector.response_time.mean,
+        mean_queue_length=collector.queue_length.time_average(now),
+        bus_utilization=(busy_bus_average / total_buses
+                         if total_buses else math.nan),
+        resource_utilization=(busy_resource_average / total_resources
+                              if total_resources not in (0, math.inf) else 0.0),
+        network_blocking_fraction=blocking_fraction,
+        completed_tasks=collector.completed_tasks,
+        simulated_time=now,
+    )

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` et al.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid system configuration was supplied.
+
+    Raised by the configuration grammar (:mod:`repro.config`) and by network
+    constructors when structural constraints are violated (for example a
+    non-power-of-two Omega network, or ``p != i * j``).
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel detected an inconsistency."""
+
+
+class SchedulingError(ReproError):
+    """A network scheduler was driven into an impossible state.
+
+    Examples: releasing a connection that was never established, or a
+    request signal observed outside a request cycle.
+    """
+
+
+class AnalysisError(ReproError):
+    """A queueing/Markov analysis could not be carried out.
+
+    Typical causes are unstable systems (utilization at or above one) or
+    solver non-convergence.
+    """
+
+
+class UnstableSystemError(AnalysisError):
+    """The offered load is at or beyond the system capacity.
+
+    Stationary queueing quantities (delay, queue length) are infinite, so
+    analytic solvers refuse to produce a number.
+    """
+
+    def __init__(self, utilization: float, message: str | None = None):
+        self.utilization = utilization
+        if message is None:
+            message = (
+                f"system is unstable: utilization {utilization:.4f} >= 1; "
+                "stationary delay does not exist"
+            )
+        super().__init__(message)

@@ -1,0 +1,101 @@
+"""Transient CTMC analysis by uniformization (Jensen's method).
+
+The stationary solvers answer "what does the chain look like eventually";
+uniformization answers "how long until it looks like that" — which is how
+the simulation warm-up lengths used throughout the benchmarks were chosen.
+
+Given a finite CTMC with generator Q, pick a uniformization rate
+``gamma >= max |q_ii|`` and form the DTMC ``P = I + Q / gamma``.  Then
+
+    pi(t) = sum_k  Poisson(gamma t; k) * pi(0) P^k,
+
+truncating the Poisson sum once the neglected tail is below a tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.markov.ctmc import FiniteCTMC
+
+
+def transient_distribution(chain: FiniteCTMC, time: float,
+                           initial: Optional[Sequence[float]] = None,
+                           tolerance: float = 1e-10) -> np.ndarray:
+    """State distribution of ``chain`` at ``time`` from ``initial``.
+
+    ``initial`` defaults to all mass on the chain's first state (the seed
+    of the reachability exploration).  The Poisson sum is truncated when
+    the accumulated weight reaches ``1 - tolerance``.
+    """
+    if time < 0:
+        raise AnalysisError(f"time must be non-negative, got {time}")
+    size = chain.num_states
+    if initial is None:
+        distribution = np.zeros(size)
+        distribution[0] = 1.0
+    else:
+        distribution = np.asarray(initial, dtype=float)
+        if distribution.shape != (size,):
+            raise AnalysisError(
+                f"initial distribution has shape {distribution.shape}, "
+                f"expected ({size},)")
+        if abs(distribution.sum() - 1.0) > 1e-9 or distribution.min() < 0:
+            raise AnalysisError("initial distribution must be a probability vector")
+    if time == 0:
+        return distribution.copy()
+
+    generator = chain.generator_matrix()
+    rate = float(-generator.diagonal().min())
+    if rate <= 0:
+        return distribution.copy()  # absorbing everywhere: nothing moves
+    rate *= 1.02  # headroom keeps P strictly substochastic off-diagonal
+    transition = generator / rate
+    # P = I + Q/gamma applied implicitly: v P = v + (v Q)/gamma.
+    poisson_mean = rate * time
+
+    result = np.zeros(size)
+    vector = distribution.copy()
+    log_weight = -poisson_mean  # log Poisson(k=0)
+    accumulated = 0.0
+    k = 0
+    max_terms = int(poisson_mean + 12.0 * math.sqrt(poisson_mean + 1.0)) + 64
+    while accumulated < 1.0 - tolerance and k <= max_terms:
+        weight = math.exp(log_weight)
+        result += weight * vector
+        accumulated += weight
+        k += 1
+        log_weight += math.log(poisson_mean) - math.log(k)
+        vector = vector + vector @ transition
+    if accumulated < 1.0 - 1e-6:
+        raise AnalysisError(
+            f"uniformization truncated too early (mass {accumulated:.6f}); "
+            "increase max terms or reduce t")
+    # Renormalize the tiny truncation remainder.
+    return result / result.sum()
+
+
+def time_to_stationarity(chain: FiniteCTMC, tolerance: float = 1e-3,
+                         horizon: float = 1e6) -> float:
+    """Smallest probed time with total-variation distance < ``tolerance``.
+
+    Doubles the probe time starting from the chain's mean holding time;
+    used to justify simulation warm-up lengths.  Raises if the chain has
+    not mixed by ``horizon``.
+    """
+    stationary = chain.stationary_distribution()
+    generator = chain.generator_matrix()
+    rate = float(-generator.diagonal().min())
+    probe = 1.0 / rate if rate > 0 else 1.0
+    while probe <= horizon:
+        current = transient_distribution(chain, probe)
+        distance = 0.5 * float(np.abs(current - stationary).sum())
+        if distance < tolerance:
+            return probe
+        probe *= 2.0
+    raise AnalysisError(
+        f"chain has not mixed to within {tolerance} by t = {horizon}")

@@ -1,0 +1,118 @@
+"""Abstract interface between the system simulator and a network fabric.
+
+The RSIN system simulator (:mod:`repro.core`) owns the *endpoint* state —
+which output-port buses are transmitting and which resources are busy.  The
+fabric owns the *internal* state: links and switch settings.  The contract:
+
+* :meth:`NetworkFabric.connect` — given a requesting input and the set of
+  output ports that could accept a task right now (bus free, at least one
+  free resource), find a circuit to one of them without disturbing existing
+  circuits.  On success the links are claimed and a :class:`Connection`
+  handle is returned; on failure (internal blocking) ``None``.
+* :meth:`NetworkFabric.release` — drop the circuit when transmission ends.
+
+Buses and crossbars never block internally; multistage networks can.  The
+distributed-scheduling behaviour (which of several eligible ports is chosen)
+lives in the fabric, reproducing each network's hardware algorithm.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError, SchedulingError
+
+
+@dataclass(frozen=True)
+class Connection:
+    """An established circuit from an input to an output port.
+
+    ``links`` identifies the internal links held by the circuit (empty for
+    non-blocking fabrics); ``hops`` counts switching elements traversed —
+    the paper's "number of interchange boxes" metric.
+    """
+
+    input_port: int
+    output_port: int
+    links: FrozenSet[Tuple[int, int]] = frozenset()
+    hops: int = 0
+
+
+class NetworkFabric(ABC):
+    """Base class for all RSIN fabrics."""
+
+    def __init__(self, inputs: int, outputs: int):
+        if inputs < 1 or outputs < 1:
+            raise ConfigurationError(
+                f"fabric needs positive port counts, got {inputs}x{outputs}")
+        self.inputs = inputs
+        self.outputs = outputs
+        self._active: Set[Connection] = set()
+        self.connect_attempts = 0
+        self.connect_blocked = 0
+
+    @property
+    def active_connections(self) -> FrozenSet[Connection]:
+        """Circuits currently held."""
+        return frozenset(self._active)
+
+    def connect(self, input_port: int, candidate_ports) -> Optional[Connection]:
+        """Try to establish a circuit from ``input_port`` to a candidate port."""
+        if not 0 <= input_port < self.inputs:
+            raise SchedulingError(f"input port {input_port} out of range")
+        candidates = frozenset(candidate_ports)
+        for port in candidates:
+            if not 0 <= port < self.outputs:
+                raise SchedulingError(f"output port {port} out of range")
+        if any(conn.input_port == input_port for conn in self._active):
+            raise SchedulingError(
+                f"input {input_port} already holds a connection")
+        self.connect_attempts += 1
+        connection = self._find_circuit(input_port, candidates)
+        if connection is None:
+            self.connect_blocked += 1
+            return None
+        self._active.add(connection)
+        return connection
+
+    def release(self, connection: Connection) -> None:
+        """Tear down a circuit previously returned by :meth:`connect`."""
+        if connection not in self._active:
+            raise SchedulingError("releasing a connection that is not active")
+        self._active.remove(connection)
+        self._after_release(connection)
+
+    # -- hooks ----------------------------------------------------------------
+    @abstractmethod
+    def _find_circuit(self, input_port: int, candidates) -> Optional[Connection]:
+        """Locate and claim a circuit, or return None on internal blocking."""
+
+    def _after_release(self, connection: Connection) -> None:
+        """Fabrics with internal state free it here."""
+
+    # -- statistics ------------------------------------------------------------
+    @property
+    def blocking_fraction(self) -> float:
+        """Fraction of connect attempts refused due to internal blocking."""
+        if self.connect_attempts == 0:
+            return 0.0
+        return self.connect_blocked / self.connect_attempts
+
+
+class SingleBusFabric(NetworkFabric):
+    """The single shared bus: one output port, no internal links.
+
+    All contention is at the bus itself, which the system simulator models
+    as the output-port bus; the fabric therefore never blocks internally
+    (an eligible candidate port implies a free bus).
+    """
+
+    def __init__(self, inputs: int):
+        super().__init__(inputs=inputs, outputs=1)
+
+    def _find_circuit(self, input_port: int, candidates) -> Optional[Connection]:
+        if 0 not in candidates:
+            return None
+        return Connection(input_port=input_port, output_port=0, hops=0)

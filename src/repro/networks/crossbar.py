@@ -1,0 +1,44 @@
+"""The crossbar fabric used by the queueing simulator (Section IV).
+
+A crossbar is internally non-blocking: a request fails only when no output
+port is eligible.  What the fabric decides is *which* eligible port a
+request connects to, mirroring the hardware arbitration:
+
+* ``"priority"`` — the wavefront cells' asymmetric order (lowest port
+  index wins; see :mod:`repro.networks.cells`);
+* ``"random"``  — the POLYP-style token scheme (uniform among eligible).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.networks.base import Connection, NetworkFabric
+
+ARBITRATION_POLICIES = ("priority", "random")
+
+
+class CrossbarFabric(NetworkFabric):
+    """A ``p x m`` non-blocking crossbar with distributed scheduling cells."""
+
+    def __init__(self, inputs: int, outputs: int, arbitration: str = "priority",
+                 rng: Optional[random.Random] = None):
+        super().__init__(inputs=inputs, outputs=outputs)
+        if arbitration not in ARBITRATION_POLICIES:
+            raise ConfigurationError(
+                f"unknown arbitration {arbitration!r}; "
+                f"expected one of {ARBITRATION_POLICIES}")
+        self.arbitration = arbitration
+        self._rng = rng if rng is not None else random.Random(0)
+
+    def _find_circuit(self, input_port: int, candidates) -> Optional[Connection]:
+        if not candidates:
+            return None
+        if self.arbitration == "priority":
+            port = min(candidates)
+        else:
+            port = self._rng.choice(sorted(candidates))
+        # Crossbars traverse a single switching element.
+        return Connection(input_port=input_port, output_port=port, hops=1)

@@ -1,0 +1,30 @@
+"""The indirect binary n-cube network (Pease).
+
+Structurally a multistage network like the Omega, but stage ``t`` pairs the
+lines that differ in address bit ``t`` (axis-by-axis, least-significant
+first) instead of applying a perfect shuffle.  The paper cites it alongside
+the Omega network as a candidate RSIN (its Section II example configuration
+``16/1x16x16 CUBE/2``); the distributed box algorithm carries over
+unchanged — only the wiring differs, which is exactly what this module
+demonstrates by reusing :class:`~repro.networks.omega.MultistageFabric`
+and :class:`~repro.networks.omega.ClockedMultistageScheduler`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Union
+
+from repro.networks.omega import ClockedMultistageScheduler, MultistageFabric
+from repro.networks.topology import CubeTopology
+
+
+def cube_fabric(size: int) -> MultistageFabric:
+    """A circuit fabric over an indirect binary n-cube of ``size`` terminals."""
+    return MultistageFabric(CubeTopology(size))
+
+
+def cube_scheduler(size: int,
+                   free_resources: Union[Mapping[int, int], Sequence[int]],
+                   ) -> ClockedMultistageScheduler:
+    """A clocked distributed scheduler over an indirect binary n-cube."""
+    return ClockedMultistageScheduler(CubeTopology(size), free_resources)

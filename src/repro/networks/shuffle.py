@@ -1,0 +1,45 @@
+"""Bit-manipulation permutations used by multistage networks."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def log2_exact(n: int) -> int:
+    """log2 of a power of two, raising for anything else."""
+    if n < 1 or (n & (n - 1)) != 0:
+        raise ConfigurationError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1
+
+
+def perfect_shuffle(address: int, bits: int) -> int:
+    """Rotate the ``bits``-bit address left by one (Stone's perfect shuffle).
+
+    Card-deck intuition: interleave the top half with the bottom half; line
+    ``x`` of ``N`` moves to ``2x mod (N - 1)`` (with ``N - 1 -> N - 1``).
+    """
+    if not 0 <= address < (1 << bits):
+        raise ValueError(f"address {address} does not fit in {bits} bits")
+    mask = (1 << bits) - 1
+    return ((address << 1) | (address >> (bits - 1))) & mask
+
+
+def inverse_shuffle(address: int, bits: int) -> int:
+    """Rotate the ``bits``-bit address right by one (unshuffle)."""
+    if not 0 <= address < (1 << bits):
+        raise ValueError(f"address {address} does not fit in {bits} bits")
+    mask = (1 << bits) - 1
+    return ((address >> 1) | ((address & 1) << (bits - 1))) & mask
+
+
+def bit_of(value: int, position: int) -> int:
+    """The bit of ``value`` at ``position`` (0 = least significant)."""
+    return (value >> position) & 1
+
+
+def with_bit(value: int, position: int, bit: int) -> int:
+    """``value`` with the bit at ``position`` forced to ``bit``."""
+    if bit not in (0, 1):
+        raise ValueError(f"bit must be 0 or 1, got {bit}")
+    cleared = value & ~(1 << position)
+    return cleared | (bit << position)

@@ -1,0 +1,202 @@
+"""Multistage network topologies: wiring between stages of 2x2 boxes.
+
+A topology with ``N`` terminals (N a power of two) has ``n = log2 N``
+stages of ``N / 2`` interchange boxes.  Links live in *columns*: column
+``t`` holds the ``N`` links entering stage ``t`` (column 0 = the network
+inputs); the outputs of stage ``t`` are the links of column ``t + 1``, and
+column ``n`` is the output side.  A link is identified by ``(column,
+index)``.
+
+Concrete topologies define how column-``t`` links attach to box input
+ports, and which destination-address bit a box at stage ``t`` resolves
+(destination-tag routing — the degenerate address-mapping mode of an RSIN).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.networks.shuffle import bit_of, log2_exact, perfect_shuffle, with_bit
+
+#: A link: (column index, link index within the column).
+Link = Tuple[int, int]
+
+
+class MultistageTopology(ABC):
+    """Wiring rules for an N-by-N multistage network of 2x2 boxes."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.stages = log2_exact(size)
+        if self.stages < 1:
+            raise ConfigurationError("multistage networks need at least 2 terminals")
+        self.boxes_per_stage = size // 2
+
+    # -- wiring ------------------------------------------------------------
+    @abstractmethod
+    def input_map(self, stage: int, link_index: int) -> Tuple[int, int]:
+        """Box ``(box, port)`` fed by link ``link_index`` of column ``stage``."""
+
+    def output_link(self, stage: int, box: int, port: int) -> int:
+        """Column ``stage + 1`` link leaving output ``port`` of ``box``.
+
+        Uniform across the implemented topologies: the inverse of
+        :meth:`input_map` applied on the output side is folded into the next
+        stage's input map, so outputs are numbered ``2 * box + port``...
+        unless a topology overrides this.
+        """
+        return 2 * box + port
+
+    @abstractmethod
+    def routing_bit(self, stage: int, destination: int) -> int:
+        """Destination bit resolved at ``stage`` under tag routing."""
+
+    # -- derived helpers ------------------------------------------------------
+    def box_links(self, stage: int, box: int) -> Tuple[int, int]:
+        """The two column-``stage`` links entering ``box`` (upper, lower)."""
+        upper = lower = None
+        for link_index in range(self.size):
+            mapped_box, port = self.input_map(stage, link_index)
+            if mapped_box == box:
+                if port == 0:
+                    upper = link_index
+                else:
+                    lower = link_index
+        if upper is None or lower is None:
+            raise ConfigurationError(
+                f"stage {stage} box {box} wiring incomplete (topology bug)")
+        return upper, lower
+
+    def route_by_tag(self, source: int, destination: int) -> List[Link]:
+        """The unique tag-routed path, as the sequence of links traversed.
+
+        Includes the source link (column 0) and destination link (column n).
+        """
+        self._check_terminal(source, "source")
+        self._check_terminal(destination, "destination")
+        path: List[Link] = [(0, source)]
+        link_index = source
+        for stage in range(self.stages):
+            box, _port = self.input_map(stage, link_index)
+            out_port = self.routing_bit(stage, destination)
+            link_index = self.output_link(stage, box, out_port)
+            path.append((stage + 1, link_index))
+        return path
+
+    def path_boxes(self, source: int, destination: int) -> List[Tuple[int, int]]:
+        """The boxes ``(stage, box)`` on the tag-routed path."""
+        boxes = []
+        link_index = source
+        for stage in range(self.stages):
+            box, _port = self.input_map(stage, link_index)
+            boxes.append((stage, box))
+            link_index = self.output_link(stage, box, self.routing_bit(stage, destination))
+        return boxes
+
+    def paths_conflict(self, pairs: Sequence[Tuple[int, int]]) -> bool:
+        """Whether tag-routing all ``(source, destination)`` pairs collides.
+
+        Two circuits conflict when they share any internal or terminal link.
+        Duplicate sources/destinations conflict by definition.
+        """
+        used: set = set()
+        for source, destination in pairs:
+            for link in self.route_by_tag(source, destination):
+                if link in used:
+                    return True
+                used.add(link)
+        return False
+
+    def links_of_path(self, source: int, destination: int) -> FrozenSet[Link]:
+        """Set form of :meth:`route_by_tag` for occupancy bookkeeping."""
+        return frozenset(self.route_by_tag(source, destination))
+
+    def _check_terminal(self, terminal: int, label: str) -> None:
+        if not 0 <= terminal < self.size:
+            raise ConfigurationError(
+                f"{label} {terminal} out of range for a {self.size}-terminal network")
+
+
+class OmegaTopology(MultistageTopology):
+    """Lawrie's Omega network: a perfect shuffle before every stage.
+
+    Stage ``t`` resolves destination bit ``n - 1 - t`` (most significant
+    first): choosing the upper output appends a 0, the lower output a 1.
+    """
+
+    def input_map(self, stage: int, link_index: int) -> Tuple[int, int]:
+        shuffled = perfect_shuffle(link_index, self.stages)
+        return shuffled >> 1, shuffled & 1
+
+    def routing_bit(self, stage: int, destination: int) -> int:
+        return bit_of(destination, self.stages - 1 - stage)
+
+
+class CubeTopology(MultistageTopology):
+    """The indirect binary n-cube (Pease): stage ``t`` spans cube axis ``t``.
+
+    Boxes at stage ``t`` pair the links whose indices differ only in bit
+    ``t``; choosing output port ``q`` forces bit ``t`` of the running link
+    index to ``q``, so stage ``t`` resolves destination bit ``t`` (least
+    significant first — the mirror order of the Omega network).
+    """
+
+    def input_map(self, stage: int, link_index: int) -> Tuple[int, int]:
+        port = bit_of(link_index, stage)
+        low_mask = (1 << stage) - 1
+        box = (link_index & low_mask) | ((link_index >> (stage + 1)) << stage)
+        return box, port
+
+    def output_link(self, stage: int, box: int, port: int) -> int:
+        low_mask = (1 << stage) - 1
+        expanded = (box & low_mask) | ((box >> stage) << (stage + 1))
+        return with_bit(expanded, stage, port)
+
+    def routing_bit(self, stage: int, destination: int) -> int:
+        return bit_of(destination, stage)
+
+
+class BaselineTopology(MultistageTopology):
+    """The baseline network (Wu & Feng), built recursively.
+
+    Stage ``k`` works within blocks of ``N / 2^k`` links: each box pairs
+    two *adjacent* links of its block, its upper output feeds the top half
+    sub-block and its lower output the bottom half.  Wu & Feng showed this
+    network is topologically equivalent to the Omega and cube classes;
+    here that equivalence is demonstrated operationally — the same box
+    algorithm and tag routing run unchanged on the third wiring.  Stage
+    ``k`` resolves destination bit ``n - 1 - k`` (most significant first,
+    like the Omega network).
+    """
+
+    def input_map(self, stage: int, link_index: int) -> Tuple[int, int]:
+        block_bits = self.stages - stage      # block size 2^block_bits
+        block = link_index >> block_bits
+        within = link_index & ((1 << block_bits) - 1)
+        boxes_per_block = 1 << (block_bits - 1)
+        return block * boxes_per_block + (within >> 1), within & 1
+
+    def output_link(self, stage: int, box: int, port: int) -> int:
+        block_bits = self.stages - stage
+        boxes_per_block = 1 << (block_bits - 1)
+        block = box // boxes_per_block
+        box_within = box % boxes_per_block
+        within_next = port * boxes_per_block + box_within
+        return (block << block_bits) | within_next
+
+    def routing_bit(self, stage: int, destination: int) -> int:
+        return bit_of(destination, self.stages - 1 - stage)
+
+
+def make_topology(kind: str, size: int) -> MultistageTopology:
+    """Factory keyed by the configuration grammar's network token."""
+    kind = kind.upper()
+    if kind == "OMEGA":
+        return OmegaTopology(size)
+    if kind == "CUBE":
+        return CubeTopology(size)
+    if kind == "BASELINE":
+        return BaselineTopology(size)
+    raise ConfigurationError(f"unknown multistage topology {kind!r}")

@@ -1,0 +1,49 @@
+"""Classical queueing formulas used as substrates and test oracles."""
+
+from repro.queueing.birth_death import birth_death_mean, birth_death_probabilities
+from repro.queueing.erlang import erlang_b, erlang_c
+from repro.queueing.littles_law import (
+    arrival_rate_for_intensity,
+    mean_delay_from_queue_length,
+    mean_queue_length_from_delay,
+    normalized_delay,
+    traffic_intensity,
+)
+from repro.queueing.mg1 import (
+    SERVICE_CV2,
+    MG1Metrics,
+    mg1_metrics,
+    mg1_metrics_for_distribution,
+)
+from repro.queueing.mm1 import MM1Metrics, mm1_metrics, mm1_state_probability
+from repro.queueing.mmc import (
+    MMcMetrics,
+    mmc_metrics,
+    mmc_state_probability,
+    mmck_blocking_probability,
+    mmck_state_probabilities,
+)
+
+__all__ = [
+    "MM1Metrics",
+    "mm1_metrics",
+    "mm1_state_probability",
+    "MG1Metrics",
+    "mg1_metrics",
+    "mg1_metrics_for_distribution",
+    "SERVICE_CV2",
+    "MMcMetrics",
+    "mmc_metrics",
+    "mmc_state_probability",
+    "mmck_state_probabilities",
+    "mmck_blocking_probability",
+    "erlang_b",
+    "erlang_c",
+    "birth_death_probabilities",
+    "birth_death_mean",
+    "mean_delay_from_queue_length",
+    "mean_queue_length_from_delay",
+    "normalized_delay",
+    "traffic_intensity",
+    "arrival_rate_for_intensity",
+]

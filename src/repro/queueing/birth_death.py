@@ -1,0 +1,41 @@
+"""General birth-death chain solver.
+
+Both M/M/1 and M/M/c are birth-death chains; this module solves an arbitrary
+finite birth-death chain from its rate functions and is used as an
+independent oracle in the test suite (property tests compare the closed-form
+queues against this solver).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+
+def birth_death_probabilities(birth_rate: Callable[[int], float],
+                              death_rate: Callable[[int], float],
+                              num_states: int) -> List[float]:
+    """Stationary distribution of a finite birth-death chain.
+
+    States are ``0 .. num_states - 1``; ``birth_rate(n)`` is the rate from
+    ``n`` to ``n + 1`` and ``death_rate(n)`` the rate from ``n`` to ``n - 1``.
+    Uses the detailed-balance product form.
+    """
+    if num_states < 1:
+        raise ValueError("need at least one state")
+    weights = [1.0]
+    for n in range(1, num_states):
+        up = birth_rate(n - 1)
+        down = death_rate(n)
+        if up < 0 or down <= 0:
+            raise ValueError(
+                f"invalid rates at state {n}: birth {up}, death {down}"
+            )
+        weights.append(weights[-1] * up / down)
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+def birth_death_mean(probabilities: Sequence[float],
+                     value: Callable[[int], float] = lambda n: float(n)) -> float:
+    """Expectation of ``value(state)`` under a stationary distribution."""
+    return sum(value(n) * p for n, p in enumerate(probabilities))

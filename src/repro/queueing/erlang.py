@@ -1,0 +1,44 @@
+"""Erlang blocking (B) and waiting (C) formulas.
+
+Erlang B gives the blocking probability of the M/M/c/c loss system (the
+no-queueing-at-resources situation of assumption (b) when blocked tasks are
+rejected); Erlang C is the waiting probability of M/M/c and underlies the
+degenerate M/M/r analysis of the shared bus in Section III.
+"""
+
+from __future__ import annotations
+
+
+def erlang_b(servers: int, offered_load: float) -> float:
+    """Erlang-B blocking probability, by the standard stable recurrence.
+
+    ``offered_load`` is in Erlangs (lambda / mu).  Valid for any load.
+    """
+    if servers < 0:
+        raise ValueError("server count must be non-negative")
+    if offered_load < 0:
+        raise ValueError("offered load must be non-negative")
+    if offered_load == 0:
+        return 0.0
+    blocking = 1.0
+    for c in range(1, servers + 1):
+        blocking = offered_load * blocking / (c + offered_load * blocking)
+    return blocking
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C probability that an arrival must wait (M/M/c).
+
+    Requires a stable system (offered load strictly below server count).
+    """
+    if servers < 1:
+        raise ValueError("need at least one server")
+    if offered_load < 0:
+        raise ValueError("offered load must be non-negative")
+    if offered_load == 0:
+        return 0.0
+    if offered_load >= servers:
+        return 1.0
+    blocking = erlang_b(servers, offered_load)
+    rho = offered_load / servers
+    return blocking / (1.0 - rho + rho * blocking)

@@ -1,0 +1,60 @@
+"""Little's-law helpers (L = lambda * W) used throughout the analyses.
+
+The paper computes the queueing delay ``d`` from the mean queue length via
+Little's formula (its eq. (1)); these helpers keep the conversions in one
+place and make the direction of each conversion explicit at call sites.
+"""
+
+from __future__ import annotations
+
+
+def mean_delay_from_queue_length(mean_queue_length: float, arrival_rate: float) -> float:
+    """W = L / lambda."""
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {arrival_rate}")
+    return mean_queue_length / arrival_rate
+
+
+def mean_queue_length_from_delay(mean_delay: float, arrival_rate: float) -> float:
+    """L = lambda * W."""
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {arrival_rate}")
+    return mean_delay * arrival_rate
+
+
+def normalized_delay(delay: float, service_rate: float) -> float:
+    """Delay expressed in units of the mean service time (the paper's y-axis).
+
+    The figures plot ``mu_s * d``: queueing delay divided by ``1 / mu_s``.
+    """
+    if service_rate <= 0:
+        raise ValueError(f"service rate must be positive, got {service_rate}")
+    return delay * service_rate
+
+
+def traffic_intensity(arrival_rate_total: float, bus_rate_total: float,
+                      service_rate_total: float) -> float:
+    """The paper's x-axis: load on a hypothetical combined server.
+
+    For the 16-processor / 32-resource studies the paper uses
+    ``rho = 16 lambda (1/(16 mu_n) + 1/(32 mu_s))``: the total arrival
+    stream offered to a single bus of rate ``16 mu_n`` in series with a
+    single resource of rate ``32 mu_s``.
+    """
+    if bus_rate_total <= 0 or service_rate_total <= 0:
+        raise ValueError("aggregate rates must be positive")
+    return arrival_rate_total * (1.0 / bus_rate_total + 1.0 / service_rate_total)
+
+
+def arrival_rate_for_intensity(rho: float, processors: int, bus_rate: float,
+                               total_resources: int, service_rate: float) -> float:
+    """Invert :func:`traffic_intensity` for the per-processor rate ``lambda``.
+
+    Given a target ``rho`` on the paper's x-axis, returns the per-processor
+    arrival rate such that ``p * lambda * (1/(p mu_n) + 1/(M mu_s)) == rho``.
+    """
+    if rho <= 0:
+        raise ValueError(f"traffic intensity must be positive, got {rho}")
+    denom = processors * (1.0 / (processors * bus_rate)
+                          + 1.0 / (total_resources * service_rate))
+    return rho / denom

@@ -1,0 +1,71 @@
+"""The M/G/1 queue (Pollaczek-Khinchine).
+
+Assumption (a) of the paper makes every holding time exponential; the
+ablation benchmarks relax that for the service distribution.  For the
+private-bus limit (one processor, plentiful resources) the system is then
+an M/G/1 queue, and the Pollaczek-Khinchine formula gives the exact mean
+wait — an analytic oracle for the distribution-ablation simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnstableSystemError
+
+#: Squared coefficients of variation of the supported service laws
+#: (matching repro.workload.arrivals: the hyperexponential is balanced-
+#: means with CV^2 = 4).
+SERVICE_CV2 = {
+    "deterministic": 0.0,
+    "exponential": 1.0,
+    "hyperexponential": 4.0,
+}
+
+
+@dataclass(frozen=True)
+class MG1Metrics:
+    """Stationary quantities of an M/G/1 queue."""
+
+    arrival_rate: float
+    service_rate: float
+    service_cv2: float
+    utilization: float
+    mean_waiting_time: float
+    mean_number_in_queue: float
+    mean_time_in_system: float
+    mean_number_in_system: float
+
+
+def mg1_metrics(arrival_rate: float, service_rate: float,
+                service_cv2: float) -> MG1Metrics:
+    """Pollaczek-Khinchine: W_q = rho (1 + c^2) / (2 mu (1 - rho))."""
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ValueError("rates must be positive")
+    if service_cv2 < 0:
+        raise ValueError(f"CV^2 must be non-negative, got {service_cv2}")
+    rho = arrival_rate / service_rate
+    if rho >= 1.0:
+        raise UnstableSystemError(rho)
+    waiting = rho * (1.0 + service_cv2) / (2.0 * service_rate * (1.0 - rho))
+    return MG1Metrics(
+        arrival_rate=arrival_rate,
+        service_rate=service_rate,
+        service_cv2=service_cv2,
+        utilization=rho,
+        mean_waiting_time=waiting,
+        mean_number_in_queue=arrival_rate * waiting,
+        mean_time_in_system=waiting + 1.0 / service_rate,
+        mean_number_in_system=arrival_rate * (waiting + 1.0 / service_rate),
+    )
+
+
+def mg1_metrics_for_distribution(arrival_rate: float, service_rate: float,
+                                 distribution: str) -> MG1Metrics:
+    """P-K metrics for one of the workload module's service laws."""
+    cv2 = SERVICE_CV2.get(distribution)
+    if cv2 is None:
+        raise ValueError(
+            f"unknown service distribution {distribution!r}; "
+            f"expected one of {sorted(SERVICE_CV2)}")
+    return mg1_metrics(arrival_rate, service_rate, cv2)

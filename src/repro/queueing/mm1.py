@@ -1,0 +1,77 @@
+"""The M/M/1 queue.
+
+Used by the paper as the degenerate model of a private bus with infinitely
+many resources (the bus is the only server; Section III) and as the
+saturation reference ``rho = p * lambda / mu_n``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import UnstableSystemError
+
+
+@dataclass(frozen=True)
+class MM1Metrics:
+    """Stationary quantities of an M/M/1 queue."""
+
+    arrival_rate: float
+    service_rate: float
+    utilization: float
+    mean_number_in_system: float
+    mean_number_in_queue: float
+    mean_time_in_system: float
+    mean_waiting_time: float
+
+
+def mm1_metrics(arrival_rate: float, service_rate: float) -> MM1Metrics:
+    """Exact stationary metrics of the M/M/1 queue.
+
+    Raises :class:`~repro.errors.UnstableSystemError` when ``rho >= 1``.
+    """
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ValueError("rates must be positive")
+    rho = arrival_rate / service_rate
+    if rho >= 1.0:
+        raise UnstableSystemError(rho)
+    number_in_system = rho / (1.0 - rho)
+    number_in_queue = rho * rho / (1.0 - rho)
+    return MM1Metrics(
+        arrival_rate=arrival_rate,
+        service_rate=service_rate,
+        utilization=rho,
+        mean_number_in_system=number_in_system,
+        mean_number_in_queue=number_in_queue,
+        mean_time_in_system=number_in_system / arrival_rate,
+        mean_waiting_time=number_in_queue / arrival_rate,
+    )
+
+
+def mm1_state_probability(arrival_rate: float, service_rate: float, n: int) -> float:
+    """P(N = n) = (1 - rho) rho^n for the stable M/M/1 queue."""
+    if n < 0:
+        raise ValueError("state index must be non-negative")
+    rho = arrival_rate / service_rate
+    if rho >= 1.0:
+        raise UnstableSystemError(rho)
+    return (1.0 - rho) * rho ** n
+
+
+def mm1_waiting_time_quantile(arrival_rate: float, service_rate: float,
+                              probability: float) -> float:
+    """Quantile of the (exponential-tail) waiting-time distribution.
+
+    P(W > t) = rho * exp(-(mu - lambda) t); solves for t at the requested
+    tail probability, returning 0 when the tail mass at zero already covers it.
+    """
+    if not 0.0 < probability < 1.0:
+        raise ValueError("probability must be in (0, 1)")
+    rho = arrival_rate / service_rate
+    if rho >= 1.0:
+        raise UnstableSystemError(rho)
+    tail = 1.0 - probability
+    if tail >= rho:
+        return 0.0
+    return -math.log(tail / rho) / (service_rate - arrival_rate)

@@ -1,0 +1,121 @@
+"""The M/M/c (and M/M/c/K) queues.
+
+Section III of the paper observes that when the transmission time is
+negligible (``mu_s`` small relative to ``mu_n`` large, few resources) the
+shared-bus system collapses to M/M/r: the bus never constrains throughput
+and the r resources are the servers.  These formulas provide that limit and
+are used to validate the Markov-chain solver.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import UnstableSystemError
+from repro.queueing.erlang import erlang_c
+
+
+@dataclass(frozen=True)
+class MMcMetrics:
+    """Stationary quantities of an M/M/c queue."""
+
+    arrival_rate: float
+    service_rate: float
+    servers: int
+    utilization: float
+    probability_wait: float
+    mean_number_in_queue: float
+    mean_number_in_system: float
+    mean_waiting_time: float
+    mean_time_in_system: float
+
+
+def mmc_metrics(arrival_rate: float, service_rate: float, servers: int) -> MMcMetrics:
+    """Exact stationary metrics of the M/M/c queue."""
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ValueError("rates must be positive")
+    if servers < 1:
+        raise ValueError("need at least one server")
+    offered = arrival_rate / service_rate
+    rho = offered / servers
+    if rho >= 1.0:
+        raise UnstableSystemError(rho)
+    wait_probability = erlang_c(servers, offered)
+    queue_length = wait_probability * rho / (1.0 - rho)
+    waiting_time = queue_length / arrival_rate
+    return MMcMetrics(
+        arrival_rate=arrival_rate,
+        service_rate=service_rate,
+        servers=servers,
+        utilization=rho,
+        probability_wait=wait_probability,
+        mean_number_in_queue=queue_length,
+        mean_number_in_system=queue_length + offered,
+        mean_waiting_time=waiting_time,
+        mean_time_in_system=waiting_time + 1.0 / service_rate,
+    )
+
+
+def mmck_state_probabilities(arrival_rate: float, service_rate: float,
+                             servers: int, capacity: int) -> List[float]:
+    """State probabilities of the finite-capacity M/M/c/K queue.
+
+    ``capacity`` counts every customer in the system (serving + waiting).
+    Always stable because the state space is finite.
+    """
+    if servers < 1 or capacity < servers:
+        raise ValueError("need capacity >= servers >= 1")
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ValueError("rates must be positive")
+    offered = arrival_rate / service_rate
+    weights = [1.0]
+    for n in range(1, capacity + 1):
+        rate_down = min(n, servers) * service_rate
+        weights.append(weights[-1] * arrival_rate / rate_down)
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+def mmck_blocking_probability(arrival_rate: float, service_rate: float,
+                              servers: int, capacity: int) -> float:
+    """Probability an arrival finds the M/M/c/K system full."""
+    return mmck_state_probabilities(arrival_rate, service_rate, servers, capacity)[-1]
+
+
+def mmc_mean_queue_length_exact(arrival_rate: float, service_rate: float,
+                                servers: int, truncation: int = 4000) -> float:
+    """Mean queue length by direct summation (cross-check for tests)."""
+    offered = arrival_rate / service_rate
+    rho = offered / servers
+    if rho >= 1.0:
+        raise UnstableSystemError(rho)
+    # Unnormalized state weights.
+    weights = [1.0]
+    for n in range(1, truncation + 1):
+        rate_down = min(n, servers) * service_rate
+        weights.append(weights[-1] * arrival_rate / rate_down)
+    total = sum(weights)
+    mean_queue = sum(max(0, n - servers) * w for n, w in enumerate(weights)) / total
+    if weights[-1] / total > 1e-12:
+        raise ValueError("truncation too small for requested load")
+    return mean_queue
+
+
+def mmc_state_probability(arrival_rate: float, service_rate: float,
+                          servers: int, n: int) -> float:
+    """P(N = n) of a stable M/M/c queue."""
+    if n < 0:
+        raise ValueError("state index must be non-negative")
+    offered = arrival_rate / service_rate
+    rho = offered / servers
+    if rho >= 1.0:
+        raise UnstableSystemError(rho)
+    # p0 from the standard closed form.
+    finite_sum = sum(offered ** k / math.factorial(k) for k in range(servers))
+    tail = offered ** servers / (math.factorial(servers) * (1.0 - rho))
+    p0 = 1.0 / (finite_sum + tail)
+    if n < servers:
+        return p0 * offered ** n / math.factorial(n)
+    return p0 * offered ** n / (math.factorial(servers) * servers ** (n - servers))

@@ -1,0 +1,57 @@
+"""From-scratch discrete-event simulation kernel.
+
+Public surface:
+
+* :class:`Environment` — clock, event queue, run loop;
+* :class:`Event`, :class:`Timeout`, :class:`Condition` — event primitives;
+* :class:`Process` — generator-based processes;
+* :class:`RandomStreams` — reproducible named random streams;
+* statistics collectors: :class:`TallyStat`, :class:`TimeWeightedStat`,
+  :class:`BatchMeans`, :func:`confidence_interval`;
+* :class:`Trace` — optional event log.
+"""
+
+from repro.sim.environment import EmptySchedule, Environment
+from repro.sim.events import (
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    Condition,
+    Event,
+    Timeout,
+    all_of,
+    any_of,
+)
+from repro.sim.monitor import Trace, TraceRecord
+from repro.sim.process import Process
+from repro.sim.resources import SimResource, SimStore
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import (
+    BatchMeans,
+    TallyStat,
+    TimeWeightedStat,
+    confidence_interval,
+)
+
+__all__ = [
+    "Environment",
+    "EmptySchedule",
+    "Event",
+    "Timeout",
+    "Condition",
+    "Process",
+    "SimResource",
+    "SimStore",
+    "RandomStreams",
+    "TallyStat",
+    "TimeWeightedStat",
+    "BatchMeans",
+    "confidence_interval",
+    "Trace",
+    "TraceRecord",
+    "all_of",
+    "any_of",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LOW",
+]

@@ -1,0 +1,122 @@
+"""The simulation environment: clock, event queue, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import (
+    PRIORITY_NORMAL,
+    Condition,
+    Event,
+    Timeout,
+    all_of,
+    any_of,
+)
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """Discrete-event simulation environment.
+
+    Keeps the simulation clock (:attr:`now`), a time-ordered event queue, and
+    helpers to create events, timeouts and processes.  Deterministic given
+    the same sequence of schedule calls: ties in time are broken by priority
+    and then by insertion order.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._active_process = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event creation ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None,
+                priority: int = PRIORITY_NORMAL) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value=value, priority=priority)
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        """Event that fires when any of ``events`` fires."""
+        return any_of(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        """Event that fires when all of ``events`` have fired."""
+        return all_of(self, events)
+
+    def process(self, generator: Generator) -> "Process":  # noqa: F821
+        """Start a new process from a generator that yields events."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = PRIORITY_NORMAL) -> None:
+        """Insert ``event`` into the queue ``delay`` units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, priority, self._sequence, event))
+        self._sequence += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event, advancing the clock to its time."""
+        if not self._queue:
+            raise EmptySchedule("no more events scheduled")
+        time, _priority, _seq, event = heapq.heappop(self._queue)
+        if time < self._now:
+            raise SimulationError("event queue corrupted: time moved backwards")
+        self._now = time
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue empties or the clock reaches ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if no event falls on that instant, so statistics that weight by
+        time can be finalized consistently.
+        """
+        if until is not None:
+            until = float(until)
+            if until < self._now:
+                raise SimulationError(
+                    f"run(until={until}) is in the past (now={self._now})"
+                )
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def run_until_event(self, event: Event) -> Any:
+        """Run until ``event`` has been processed; return its value."""
+        while not event.processed:
+            if not self._queue:
+                raise SimulationError("event queue drained before awaited event fired")
+            self.step()
+        return event.value

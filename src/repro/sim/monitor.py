@@ -1,0 +1,50 @@
+"""Lightweight event tracing for debugging and for test assertions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence: what happened, when, and to whom."""
+
+    time: float
+    kind: str
+    subject: Any = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class Trace:
+    """Append-only log of :class:`TraceRecord` entries.
+
+    Disabled by default so production runs pay only a boolean check.
+    """
+
+    def __init__(self, enabled: bool = False, capacity: Optional[int] = None):
+        self.enabled = enabled
+        self.capacity = capacity
+        self._records: List[TraceRecord] = []
+
+    def record(self, time: float, kind: str, subject: Any = None, **detail: Any) -> None:
+        """Append one record if tracing is enabled."""
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self._records) >= self.capacity:
+            return
+        self._records.append(TraceRecord(time, kind, subject, detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records whose kind equals ``kind``."""
+        return [record for record in self._records if record.kind == kind]
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()

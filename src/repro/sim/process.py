@@ -1,0 +1,72 @@
+"""Generator-based processes layered on the event kernel.
+
+A process is a Python generator that yields :class:`~repro.sim.events.Event`
+objects.  Each yield suspends the process until the yielded event fires; the
+event's value is sent back into the generator.  A process is itself an event
+that fires with the generator's return value, so processes can wait on each
+other.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import SimulationError
+from repro.sim.events import PRIORITY_URGENT, Event
+
+
+class Process(Event):
+    """Wraps a generator and advances it as the events it yields fire."""
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, env, generator: Generator):
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process needs a generator, got {type(generator).__name__}; "
+                "did you forget to call the process function?"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on = None
+        # Kick off at the current time, ahead of ordinary events so that a
+        # process started "now" observes the world before it changes.
+        bootstrap = Event(env)
+        bootstrap.add_callback(self._resume)
+        bootstrap._value = None
+        bootstrap._triggered = True
+        env.schedule(bootstrap, delay=0.0, priority=PRIORITY_URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        previous, self.env._active_process = self.env._active_process, self
+        try:
+            if event._exception is not None:
+                target = self._generator.throw(event._exception)
+            else:
+                target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            # A crashing process fails its event so waiters see the error;
+            # if nobody waits, re-raise to avoid silencing bugs.
+            if self.callbacks:
+                self.fail(exc)
+                return
+            raise
+        finally:
+            self.env._active_process = previous
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {target!r}; processes must yield Event objects"
+            )
+        if target is self:
+            raise SimulationError("a process cannot wait on itself")
+        self._waiting_on = target
+        target.add_callback(self._resume)

@@ -1,0 +1,122 @@
+"""Shared-resource primitives for the simulation kernel.
+
+The RSIN simulators manage their contention explicitly (buses, ports,
+availability registers), but a general-purpose kernel needs reusable
+primitives too; these are the two classics:
+
+* :class:`SimResource` — ``capacity`` identical servers with a FIFO wait
+  queue (``request`` / ``release``);
+* :class:`SimStore` — a FIFO buffer of items with blocking ``get`` and
+  optional capacity-bounded blocking ``put``.
+
+Both integrate with :class:`~repro.sim.environment.Environment` events, so
+generator processes can ``yield resource.request()`` exactly as they yield
+timeouts.  They are used by the test suite to model independent oracles
+(e.g. an M/M/c queue built only from kernel primitives) against the
+specialized simulators.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+
+
+class SimResource:
+    """``capacity`` identical servers with FIFO queueing.
+
+    ``request()`` returns an event that fires when a server is granted;
+    ``release()`` frees one server and wakes the next waiter.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        """Servers currently free."""
+        return self.capacity - self.in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a server."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """An event that fires once a server is held by the caller."""
+        event = self.env.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Free one server; the oldest waiter (if any) takes it over."""
+        if self.in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed(self)   # server handed over: in_use unchanged
+        else:
+            self.in_use -= 1
+
+
+class SimStore:
+    """A FIFO item buffer with blocking ``get`` (and bounded ``put``).
+
+    With ``capacity=None`` puts never block (an infinite buffer); with a
+    finite capacity, ``put`` returns an event that fires when space frees.
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()
+        self._pending_items: Deque[Any] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``; the returned event fires when it is stored."""
+        event = self.env.event()
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed(None)
+        else:
+            self._putters.append(event)
+            self._pending_items.append(item)
+        return event
+
+    def get(self) -> Event:
+        """An event that fires with the oldest stored item."""
+        event = self.env.event()
+        if self._items:
+            item = self._items.popleft()
+            event.succeed(item)
+            if self._putters:
+                putter = self._putters.popleft()
+                self._items.append(self._pending_items.popleft())
+                putter.succeed(None)
+        else:
+            self._getters.append(event)
+        return event

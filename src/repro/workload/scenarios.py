@@ -1,0 +1,119 @@
+"""Domain scenarios from the paper's motivation (Section I).
+
+Three applications motivate resource sharing:
+
+* **PUMPS-style VLSI function units** — processors off-load matrix
+  inversion / FFT / sorting kernels to a pool of identical special-purpose
+  chips.  Service dominates transmission (``mu_s / mu_n`` small... note the
+  paper's ratio is ``mu_s / mu_n``: *small* means service is long relative
+  to transmission).
+* **Load balancing** — overloaded processors ship excess work to any idle
+  peer; processors are themselves the resources.
+* **Dataflow machine** — enabled instruction packets from the node store
+  are fired at any free processing element; packets are small, so
+  transmission and service are comparable.
+
+Each scenario bundles a configuration and a workload whose per-processor
+arrival rate is derived from a target traffic intensity, so the examples
+and benchmarks can speak the paper's x-axis language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.errors import ConfigurationError
+from repro.queueing.littles_law import arrival_rate_for_intensity
+from repro.workload.arrivals import Workload
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, ready-to-run system + workload pair."""
+
+    name: str
+    description: str
+    config: SystemConfig
+    workload: Workload
+
+    @property
+    def traffic_intensity(self) -> float:
+        """Offered load on the paper's hypothetical combined server."""
+        w = self.workload
+        c = self.config
+        total_resources = c.total_resources
+        return c.processors * w.arrival_rate * (
+            1.0 / (c.processors * w.transmission_rate)
+            + 1.0 / (total_resources * w.service_rate)
+        )
+
+
+def _workload_for(config: SystemConfig, intensity: float,
+                  transmission_rate: float, service_rate: float) -> Workload:
+    if config.total_resources == float("inf"):
+        raise ConfigurationError("scenarios need a finite resource pool")
+    arrival = arrival_rate_for_intensity(
+        intensity,
+        processors=config.processors,
+        bus_rate=transmission_rate,
+        total_resources=int(config.total_resources),
+        service_rate=service_rate,
+    )
+    return Workload(arrival_rate=arrival, transmission_rate=transmission_rate,
+                    service_rate=service_rate)
+
+
+def pumps_scenario(intensity: float = 0.5,
+                   configuration: str = "16/1x16x16 OMEGA/2") -> Scenario:
+    """Pattern-analysis machine off-loading kernels to VLSI function units.
+
+    Long-running kernels: mean service is 10x the mean transmission
+    (``mu_s / mu_n = 0.1``), the regime of Figs. 4, 7 and 12.
+    """
+    config = SystemConfig.parse(configuration)
+    workload = _workload_for(config, intensity,
+                             transmission_rate=1.0, service_rate=0.1)
+    return Scenario(
+        name="pumps-function-units",
+        description=("PUMPS-style pool of identical VLSI units "
+                     "(FFT / matrix inversion / sorting)"),
+        config=config,
+        workload=workload,
+    )
+
+
+def load_balancing_scenario(intensity: float = 0.6,
+                            configuration: str = "16/1x16x16 XBAR/1") -> Scenario:
+    """Processors shedding excess load onto any idle peer processor.
+
+    Shipped jobs carry state, so transmission is as expensive as execution
+    (``mu_s / mu_n = 1``), the regime of Figs. 5, 8 and 13.
+    """
+    config = SystemConfig.parse(configuration)
+    workload = _workload_for(config, intensity,
+                             transmission_rate=1.0, service_rate=1.0)
+    return Scenario(
+        name="load-balancing",
+        description="excess load shipped to any available peer processor",
+        config=config,
+        workload=workload,
+    )
+
+
+def dataflow_machine_scenario(intensity: float = 0.5,
+                              configuration: str = "16/8x2x2 OMEGA/2") -> Scenario:
+    """Node store firing instruction packets at a pool of identical PEs.
+
+    Small packets, moderate execution: ``mu_s / mu_n = 0.5``; many small
+    networks (the cost-effective choice of Section VI).
+    """
+    config = SystemConfig.parse(configuration)
+    workload = _workload_for(config, intensity,
+                             transmission_rate=2.0, service_rate=1.0)
+    return Scenario(
+        name="dataflow-machine",
+        description="dataflow node store dispatching tasks to identical PEs",
+        config=config,
+        workload=workload,
+    )

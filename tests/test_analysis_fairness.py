@@ -1,0 +1,69 @@
+"""Tests for the fairness measures."""
+
+import math
+
+import pytest
+
+from repro.analysis.fairness import delay_spread, fairness_report, jain_index
+from repro.config import SystemConfig
+from repro.core import RsinSystem
+from repro.workload import Workload
+
+
+class TestJainIndex:
+    def test_equal_values_are_perfectly_fair(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_winner_is_one_over_n(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_is_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_bounds(self):
+        values = [0.5, 1.5, 4.0, 0.1]
+        index = jain_index(values)
+        assert 1.0 / len(values) <= index <= 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([1.0, -1.0])
+
+
+class TestDelaySpread:
+    def test_spread(self):
+        assert delay_spread([1.0, 2.0, 4.0]) == 4.0
+
+    def test_zero_minimum_is_infinite(self):
+        assert delay_spread([0.0, 1.0]) == math.inf
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            delay_spread([])
+
+
+class TestFairnessReport:
+    def run_system(self, arbitration):
+        system = RsinSystem(
+            SystemConfig.parse("8/1x1x1 SBUS/8"),
+            Workload(arrival_rate=0.095, transmission_rate=1.0,
+                     service_rate=1.0),
+            seed=11, arbitration=arbitration)
+        system.run(horizon=30_000.0, warmup=3_000.0)
+        return fairness_report(system)
+
+    def test_priority_less_fair_than_random(self):
+        priority = self.run_system("priority")
+        random_policy = self.run_system("random")
+        assert priority["jain_index"] < random_policy["jain_index"]
+        assert priority["spread"] > 2.0 * random_policy["spread"]
+        assert random_policy["jain_index"] > 0.95
+
+    def test_report_requires_a_run(self):
+        system = RsinSystem(
+            SystemConfig.parse("4/1x4x4 XBAR/1"),
+            Workload(0.05, 1.0, 0.2))
+        with pytest.raises(ValueError):
+            fairness_report(system)

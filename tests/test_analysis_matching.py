@@ -1,0 +1,130 @@
+"""Tests for the polynomial optimal allocator (max-flow; the paper's [35])."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.matching import (
+    allocation_shortfall,
+    build_flow_network,
+    optimal_allocation,
+)
+from repro.errors import ConfigurationError
+from repro.networks import (
+    BaselineTopology,
+    CubeTopology,
+    OmegaTopology,
+    max_conflict_free,
+)
+
+
+class TestOptimalAllocation:
+    def test_empty_inputs(self):
+        topology = OmegaTopology(8)
+        assert optimal_allocation(topology, [], [1, 2]) == (0, {})
+        assert optimal_allocation(topology, [1], []) == (0, {})
+
+    def test_single_pair(self):
+        count, assignment = optimal_allocation(OmegaTopology(8), [3], [6])
+        assert count == 1
+        assert assignment == {3: 6}
+
+    def test_full_permutation_achievable(self):
+        """8 requesters, 8 free ports on a free Omega network: max-flow
+        finds a full conflict-free permutation (2^12 of them exist)."""
+        topology = OmegaTopology(8)
+        count, assignment = optimal_allocation(
+            topology, list(range(8)), list(range(8)))
+        assert count == 8
+        assert sorted(assignment.values()) == list(range(8))
+        assert not topology.paths_conflict(list(assignment.items()))
+
+    def test_section_two_example(self):
+        """The paper's example: an optimal scheduler allocates all 3."""
+        count, assignment = optimal_allocation(
+            OmegaTopology(8), [0, 1, 2], [0, 1, 2])
+        assert count == 3
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            optimal_allocation(OmegaTopology(8), [9], [0])
+        with pytest.raises(ConfigurationError):
+            optimal_allocation(OmegaTopology(8), [0], [-1])
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_matches_exhaustive_search(self, data):
+        """Max-flow equals the factorial enumeration on random instances —
+        on every implemented topology."""
+        topology_class = data.draw(st.sampled_from(
+            [OmegaTopology, CubeTopology, BaselineTopology]))
+        topology = topology_class(8)
+        sources = data.draw(st.lists(st.integers(0, 7), unique=True,
+                                     min_size=1, max_size=4))
+        ports = data.draw(st.lists(st.integers(0, 7), unique=True,
+                                   min_size=1, max_size=4))
+        exhaustive, _ = max_conflict_free(topology, sources, ports)
+        flow, assignment = optimal_allocation(topology, sources, ports)
+        assert flow == exhaustive
+        assert len(assignment) == flow
+        assert not topology.paths_conflict(list(assignment.items()))
+
+    def test_polynomial_scaling(self):
+        """Solves a 64x64 instance (far beyond factorial reach) quickly."""
+        rng = random.Random(1)
+        topology = OmegaTopology(64)
+        sources = rng.sample(range(64), 48)
+        ports = rng.sample(range(64), 48)
+        count, assignment = optimal_allocation(topology, sources, ports)
+        assert count >= 40
+        assert not topology.paths_conflict(list(assignment.items()))
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_upper_bounds_every_scheduler(self, data):
+        """No scheduler — distributed, greedy, or random — allocates more
+        than the max-flow optimum."""
+        from repro.networks import ClockedMultistageScheduler
+        topology = OmegaTopology(8)
+        sources = data.draw(st.lists(st.integers(0, 7), unique=True,
+                                     min_size=1, max_size=6))
+        ports = data.draw(st.lists(st.integers(0, 7), unique=True,
+                                   min_size=1, max_size=6))
+        best, _ = optimal_allocation(topology, sources, ports)
+        scheduler = ClockedMultistageScheduler(
+            topology, {port: 1 for port in ports})
+        result = scheduler.run(sources)
+        assert len(result.allocated) <= best
+
+
+class TestShortfall:
+    def test_zero_when_nonblocking_outcome_exists(self):
+        topology = OmegaTopology(8)
+        assert allocation_shortfall(topology, list(range(8)),
+                                    list(range(8))) == 0
+
+    def test_positive_when_topology_blocks(self):
+        """Two requesters sharing a stage-0 box that must reach two ports
+        in the same half cannot both be routed on a baseline network."""
+        topology = BaselineTopology(8)
+        # Sources 0,1 share box (0,0); ports 0 and 1 are both in the top
+        # half of every block, so both circuits need the same box output.
+        shortfall = allocation_shortfall(topology, [0, 1], [0, 1])
+        assert shortfall == 1
+
+
+class TestFlowNetwork:
+    def test_graph_shape(self):
+        topology = OmegaTopology(8)
+        graph = build_flow_network(topology, [0, 1], [5])
+        # 4 columns x 8 links x 2 nodes + SOURCE + SINK.
+        assert graph.number_of_nodes() == 4 * 8 * 2 + 2
+        # Internal link arcs: 32; wiring arcs: 3 stages x 8 links x 2 ports;
+        # plus 2 source arcs and 1 sink arc.
+        assert graph.number_of_edges() == 32 + 48 + 3
+
+    def test_unit_capacities(self):
+        graph = build_flow_network(OmegaTopology(4), [0], [3])
+        assert all(data["capacity"] == 1
+                   for _u, _v, data in graph.edges(data=True))

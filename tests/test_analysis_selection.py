@@ -1,0 +1,162 @@
+"""Tests for the Table II selection machinery."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    CostModel,
+    CostRegime,
+    NetworkClass,
+    classify,
+    evaluate_candidates,
+    qualitative_recommendation,
+    recommend,
+)
+from repro.config import SystemConfig
+from repro.errors import AnalysisError, ConfigurationError, UnstableSystemError
+from repro.workload import Workload
+
+
+class TestClassification:
+    @pytest.mark.parametrize("triplet,expected", [
+        ("16/16x1x1 SBUS/4", NetworkClass.PRIVATE_BUS),
+        ("16/1x1x1 SBUS/32", NetworkClass.PRIVATE_BUS),
+        ("16/1x16x32 XBAR/1", NetworkClass.SINGLE_CROSSBAR),
+        ("16/1x16x16 OMEGA/2", NetworkClass.SINGLE_MULTISTAGE),
+        ("16/1x16x16 CUBE/2", NetworkClass.SINGLE_MULTISTAGE),
+        ("16/4x4x4 XBAR/2", NetworkClass.PARTITIONED_CROSSBAR),
+        ("16/2x8x8 OMEGA/3", NetworkClass.PARTITIONED_MULTISTAGE),
+    ])
+    def test_classify(self, triplet, expected):
+        assert classify(SystemConfig.parse(triplet)) is expected
+
+
+class TestQualitativeTable:
+    def test_all_five_rows(self):
+        table = {
+            (CostRegime.NETWORK_CHEAP, 0.1): NetworkClass.SINGLE_MULTISTAGE,
+            (CostRegime.NETWORK_CHEAP, 4.0): NetworkClass.SINGLE_CROSSBAR,
+            (CostRegime.COMPARABLE, 0.1): NetworkClass.PARTITIONED_MULTISTAGE,
+            (CostRegime.COMPARABLE, 4.0): NetworkClass.PARTITIONED_CROSSBAR,
+            (CostRegime.NETWORK_EXPENSIVE, 0.1): NetworkClass.PRIVATE_BUS,
+            (CostRegime.NETWORK_EXPENSIVE, 4.0): NetworkClass.PRIVATE_BUS,
+        }
+        for (regime, ratio), expected in table.items():
+            assert qualitative_recommendation(regime, ratio) is expected
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            qualitative_recommendation(CostRegime.COMPARABLE, -1.0)
+
+
+class TestCostModel:
+    def test_crossbar_is_crosspoints(self):
+        model = CostModel(resource_unit_cost=1.0)
+        assert model.network_cost(
+            SystemConfig.parse("16/1x16x32 XBAR/1")) == 512
+        assert model.network_cost(
+            SystemConfig.parse("16/4x4x4 XBAR/2")) == 64
+
+    def test_omega_is_boxes(self):
+        model = CostModel(resource_unit_cost=1.0, box_cost=4.0)
+        # (16/2) * log2(16) = 32 boxes.
+        assert model.network_cost(
+            SystemConfig.parse("16/1x16x16 OMEGA/2")) == 128
+
+    def test_multistage_cheaper_than_crossbar_at_scale(self):
+        model = CostModel(resource_unit_cost=1.0)
+        omega = model.network_cost(SystemConfig.parse("16/1x16x16 OMEGA/2"))
+        crossbar = model.network_cost(SystemConfig.parse("16/1x16x16 XBAR/2"))
+        assert omega < crossbar
+
+    def test_bus_taps(self):
+        model = CostModel(resource_unit_cost=1.0, bus_tap_cost=0.5)
+        # 16 buses x (1 processor + 2 resources) taps x 0.5.
+        assert model.network_cost(
+            SystemConfig.parse("16/16x1x1 SBUS/2")) == 24
+
+    def test_total_cost_includes_resources(self):
+        model = CostModel(resource_unit_cost=10.0)
+        config = SystemConfig.parse("16/1x16x16 OMEGA/2")
+        assert model.total_cost(config) == model.network_cost(config) + 320
+
+    def test_infinite_resources_cost_infinite(self):
+        model = CostModel(resource_unit_cost=1.0)
+        assert model.resource_cost(
+            SystemConfig.parse("16/16x1x1 SBUS/inf")) == math.inf
+
+
+class TestRecommend:
+    WORKLOAD = Workload(0.02, 1.0, 0.1)
+
+    @staticmethod
+    def fake_evaluator(delays):
+        def evaluate(config, workload):
+            return delays[str(config)]
+        return evaluate
+
+    def test_cheapest_wins_on_tie(self):
+        candidates = [SystemConfig.parse("16/1x16x16 OMEGA/2"),
+                      SystemConfig.parse("16/1x16x16 XBAR/2")]
+        delays = {"16/1x16x16 OMEGA/2": 1.0, "16/1x16x16 XBAR/2": 0.98}
+        recommendation = recommend(
+            candidates, self.WORKLOAD, CostModel(resource_unit_cost=1.0),
+            evaluator=self.fake_evaluator(delays))
+        assert recommendation.winner.config.network_type == "OMEGA"
+
+    def test_decisively_faster_wins_despite_cost(self):
+        candidates = [SystemConfig.parse("16/1x16x16 OMEGA/2"),
+                      SystemConfig.parse("16/1x16x16 XBAR/2")]
+        delays = {"16/1x16x16 OMEGA/2": 2.0, "16/1x16x16 XBAR/2": 1.0}
+        recommendation = recommend(
+            candidates, self.WORKLOAD, CostModel(resource_unit_cost=1.0),
+            budget_factor=2.0,  # both candidates affordable
+            evaluator=self.fake_evaluator(delays))
+        assert recommendation.winner.config.network_type == "XBAR"
+
+    def test_budget_excludes_expensive_candidates(self):
+        candidates = [SystemConfig.parse("16/1x16x16 OMEGA/2"),
+                      SystemConfig.parse("16/1x16x32 XBAR/1")]
+        delays = {"16/1x16x16 OMEGA/2": 5.0, "16/1x16x32 XBAR/1": 0.1}
+        recommendation = recommend(
+            candidates, self.WORKLOAD,
+            CostModel(resource_unit_cost=100.0),  # resources dominate; both affordable
+            budget_factor=1.01,
+            evaluator=self.fake_evaluator(delays))
+        # With resources at 100/unit both cost 3200 + network; XBAR's extra
+        # 384 crosspoints exceed the 1% budget slack, so OMEGA wins despite
+        # being slower.
+        assert recommendation.winner.config.network_type == "OMEGA"
+
+    def test_unstable_candidates_skipped(self):
+        def evaluator(config, workload):
+            if config.network_type == "OMEGA":
+                raise UnstableSystemError(1.5)
+            return 1.0
+        candidates = [SystemConfig.parse("16/1x16x16 OMEGA/2"),
+                      SystemConfig.parse("16/1x16x16 XBAR/2")]
+        recommendation = recommend(
+            candidates, self.WORKLOAD, CostModel(resource_unit_cost=1.0),
+            evaluator=evaluator)
+        assert recommendation.winner.config.network_type == "XBAR"
+
+    def test_all_unstable_raises(self):
+        def evaluator(config, workload):
+            raise UnstableSystemError(2.0)
+        with pytest.raises(UnstableSystemError):
+            recommend([SystemConfig.parse("16/1x16x16 XBAR/2")],
+                      self.WORKLOAD, CostModel(resource_unit_cost=1.0),
+                      evaluator=evaluator)
+
+    def test_no_candidates_rejected(self):
+        with pytest.raises(AnalysisError):
+            recommend([], self.WORKLOAD, CostModel(resource_unit_cost=1.0))
+
+    def test_evaluate_candidates_marks_unstable_infinite(self):
+        def evaluator(config, workload):
+            raise UnstableSystemError(2.0)
+        evaluations = evaluate_candidates(
+            [SystemConfig.parse("16/1x16x16 XBAR/2")], self.WORKLOAD,
+            CostModel(resource_unit_cost=1.0), evaluator)
+        assert math.isinf(evaluations[0].mean_delay)

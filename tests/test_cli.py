@@ -1,0 +1,86 @@
+"""Tests for the command-line interface and ASCII rendering."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.render import render_series
+
+
+class TestCli:
+    def test_list_prints_experiment_ids(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for exp_id in ("fig4", "fig11", "table2", "blocking"):
+            assert exp_id in output
+
+    def test_solve(self, capsys):
+        assert main(["solve", "0.5", "1.0", "0.2", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "matrix-geometric" in output
+        assert "bus utilization        : 0.5" in output
+
+    def test_solve_unstable_reports_error(self, capsys):
+        assert main(["solve", "5.0", "1.0", "0.2", "4"]) == 1
+        assert "unstable" in capsys.readouterr().err
+
+    def test_solve_alternative_method(self, capsys):
+        assert main(["solve", "0.3", "1.0", "0.5", "2",
+                     "--method", "stage-recursion"]) == 0
+        assert "stage-recursion" in capsys.readouterr().out
+
+    def test_experiment_fig11(self, capsys):
+        assert main(["experiment", "fig11"]) == 0
+        assert "3.5" in capsys.readouterr().out
+
+    def test_experiment_unknown_id(self, capsys):
+        assert main(["experiment", "fig99"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "8/1x8x8 XBAR/1", "--rho", "0.3",
+                     "--horizon", "2000"]) == 0
+        output = capsys.readouterr().out
+        assert "mu_s*d" in output
+
+    def test_simulate_bad_config(self, capsys):
+        assert main(["simulate", "7/1x7x7 OMEGA/1"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_recommend(self, capsys):
+        assert main(["recommend", "--resource-cost", "0.25"]) == 0
+        output = capsys.readouterr().out
+        assert "build:" in output
+        assert "SBUS" in output  # cheap resources -> private buses
+
+    def test_blocking(self, capsys):
+        assert main(["blocking", "--trials", "20"]) == 0
+        output = capsys.readouterr().out
+        assert "RSIN" in output
+
+
+class TestRender:
+    def make_series(self):
+        from repro.analysis import analytic_series
+        return [analytic_series("16/16x1x1 SBUS/2", 0.1, [0.2, 0.4, 0.6]),
+                analytic_series("16/8x1x1 SBUS/4", 0.1, [0.2, 0.4, 0.6])]
+
+    def test_render_contains_markers_and_legend(self):
+        chart = render_series(self.make_series(), title="demo")
+        assert "demo" in chart
+        assert "o" in chart and "x" in chart
+        assert "16/16x1x1 SBUS/2" in chart  # default label is the triplet
+        assert "traffic intensity" in chart
+
+    def test_render_empty(self):
+        from repro.analysis import analytic_series
+        saturated = [analytic_series("16/1x1x1 SBUS/32", 0.1, [0.9])]
+        chart = render_series(saturated)
+        assert "no finite points" in chart
+
+    def test_render_validates_dimensions(self):
+        with pytest.raises(ValueError):
+            render_series(self.make_series(), width=4)
+
+    def test_max_delay_clips(self):
+        chart = render_series(self.make_series(), max_delay=0.001)
+        assert "0.001" in chart

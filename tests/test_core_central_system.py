@@ -1,0 +1,86 @@
+"""Tests for the centralized-scheduler bottleneck model (Section I)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import simulate, simulate_centralized
+from repro.core.central_system import CentralizedSchedulerSystem
+from repro.errors import ConfigurationError, SimulationError
+from repro.workload import Workload
+
+LIGHT = Workload(arrival_rate=0.02, transmission_rate=1.0, service_rate=0.2)
+
+
+class TestConstruction:
+    def test_only_single_crossbars(self):
+        with pytest.raises(ConfigurationError):
+            CentralizedSchedulerSystem(
+                SystemConfig.parse("8/1x8x8 OMEGA/2"), LIGHT)
+        with pytest.raises(ConfigurationError):
+            CentralizedSchedulerSystem(
+                SystemConfig.parse("8/2x4x4 XBAR/2"), LIGHT)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CentralizedSchedulerSystem(
+                SystemConfig.parse("8/1x8x8 XBAR/2"), LIGHT,
+                scheduling_time=-0.1)
+
+    def test_single_run_only(self):
+        system = CentralizedSchedulerSystem(
+            SystemConfig.parse("8/1x8x8 XBAR/2"), LIGHT)
+        system.run(horizon=100.0)
+        with pytest.raises(SimulationError):
+            system.run(horizon=100.0)
+
+
+class TestBehaviour:
+    def test_zero_overhead_matches_distributed_fifo(self):
+        """A free scheduler is indistinguishable from distributed FIFO
+        arbitration — a third independent cross-validation."""
+        workload = Workload(arrival_rate=0.05, transmission_rate=1.0,
+                            service_rate=0.2)
+        central = simulate_centralized("8/1x8x16 XBAR/1", workload,
+                                       horizon=40_000.0, warmup=4_000.0,
+                                       scheduling_time=0.0, seed=7)
+        distributed = simulate("8/1x8x16 XBAR/1", workload,
+                               horizon=40_000.0, warmup=4_000.0, seed=7,
+                               arbitration="fifo")
+        assert central.mean_queueing_delay == pytest.approx(
+            distributed.mean_queueing_delay, rel=0.15, abs=0.01)
+
+    def test_delay_grows_with_scheduling_time(self):
+        workload = Workload(arrival_rate=0.05, transmission_rate=1.0,
+                            service_rate=0.2)
+        delays = []
+        for overhead in (0.0, 0.2, 0.5):
+            result = simulate_centralized("8/1x8x16 XBAR/1", workload,
+                                          horizon=20_000.0, warmup=2_000.0,
+                                          scheduling_time=overhead, seed=7)
+            delays.append(result.mean_queueing_delay)
+        assert delays == sorted(delays)
+        assert delays[-1] > 2 * delays[0]
+
+    def test_scheduler_saturates_when_serial_rate_below_offered_load(self):
+        """Offered 0.4 requests/unit against a scheduler that takes 4 time
+        units per request: the serial allocator is the bottleneck and the
+        queue runs away — Section I's claim."""
+        workload = Workload(arrival_rate=0.05, transmission_rate=1.0,
+                            service_rate=0.2)
+        result = simulate_centralized("8/1x8x16 XBAR/1", workload,
+                                      horizon=20_000.0, warmup=2_000.0,
+                                      scheduling_time=4.0, seed=7)
+        offered = 8 * 0.05 * (20_000.0 - 2_000.0)
+        assert result.completed_tasks < 0.8 * offered
+
+    def test_head_of_line_stall_recovers(self):
+        """With one resource, the scheduler stalls at the head whenever the
+        resource is busy, yet all work eventually completes."""
+        workload = Workload(arrival_rate=0.02, transmission_rate=2.0,
+                            service_rate=0.5)
+        result = simulate_centralized("4/1x4x1 XBAR/1", workload,
+                                      horizon=30_000.0, warmup=3_000.0,
+                                      scheduling_time=0.1, seed=2)
+        offered = 4 * 0.02
+        rate = result.completed_tasks / (result.simulated_time - 3_000.0)
+        assert rate == pytest.approx(offered, rel=0.08)

@@ -1,0 +1,86 @@
+"""Tests for the cycle-accurate crossbar system (assumption (c) ablation)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import simulate, simulate_cycle_accurate
+from repro.core.cycle_system import CycleAccurateCrossbarSystem
+from repro.errors import ConfigurationError, SimulationError
+from repro.workload import Workload
+
+LIGHT = Workload(arrival_rate=0.02, transmission_rate=1.0, service_rate=0.2)
+
+
+class TestConstruction:
+    def test_only_single_crossbars(self):
+        with pytest.raises(ConfigurationError):
+            CycleAccurateCrossbarSystem(
+                SystemConfig.parse("8/1x8x8 OMEGA/2"), LIGHT)
+        with pytest.raises(ConfigurationError):
+            CycleAccurateCrossbarSystem(
+                SystemConfig.parse("8/2x4x4 XBAR/2"), LIGHT)
+
+    def test_negative_gate_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CycleAccurateCrossbarSystem(
+                SystemConfig.parse("8/1x8x8 XBAR/2"), LIGHT, gate_time=-1.0)
+
+    def test_cycle_time_formula(self):
+        system = CycleAccurateCrossbarSystem(
+            SystemConfig.parse("8/1x8x16 XBAR/1"), LIGHT, gate_time=0.01)
+        # (4 + 1) gate levels x (p + m) = 5 * 24 cells = 120 gate delays.
+        assert system.cycle_time == pytest.approx(0.01 * 5 * 24)
+
+    def test_single_run_only(self):
+        system = CycleAccurateCrossbarSystem(
+            SystemConfig.parse("8/1x8x8 XBAR/2"), LIGHT)
+        system.run(horizon=100.0)
+        with pytest.raises(SimulationError):
+            system.run(horizon=100.0)
+
+
+class TestBehaviour:
+    def test_zero_gate_time_matches_event_driven_model(self):
+        """The two crossbar simulators must agree when cycles are free —
+        a strong cross-validation of both schedulers."""
+        workload = Workload(arrival_rate=0.05, transmission_rate=1.0,
+                            service_rate=0.2)
+        cycles = simulate_cycle_accurate("8/1x8x16 XBAR/1", workload,
+                                         horizon=40_000.0, warmup=4_000.0,
+                                         gate_time=0.0, seed=7)
+        events = simulate("8/1x8x16 XBAR/1", workload, horizon=40_000.0,
+                          warmup=4_000.0, seed=7)
+        assert cycles.mean_queueing_delay == pytest.approx(
+            events.mean_queueing_delay, rel=0.15, abs=0.01)
+        assert cycles.completed_tasks == pytest.approx(
+            events.completed_tasks, rel=0.02)
+
+    def test_delay_grows_with_gate_time(self):
+        workload = Workload(arrival_rate=0.05, transmission_rate=1.0,
+                            service_rate=0.2)
+        delays = []
+        for gate_time in (0.0, 0.005, 0.02):
+            result = simulate_cycle_accurate(
+                "8/1x8x16 XBAR/1", workload, horizon=20_000.0,
+                warmup=2_000.0, gate_time=gate_time, seed=7)
+            delays.append(result.mean_queueing_delay)
+        assert delays == sorted(delays)
+        assert delays[-1] > 2 * delays[0]
+
+    def test_cycle_count_tracked(self):
+        system = CycleAccurateCrossbarSystem(
+            SystemConfig.parse("8/1x8x8 XBAR/2"), LIGHT, gate_time=0.01)
+        system.run(horizon=2_000.0)
+        assert system.cycles_run > 0
+
+    def test_throughput_preserved_at_moderate_gate_time(self):
+        """Slower cycles delay tasks but do not lose them (work conserved
+        below saturation)."""
+        workload = Workload(arrival_rate=0.03, transmission_rate=1.0,
+                            service_rate=0.2)
+        result = simulate_cycle_accurate("8/1x8x16 XBAR/1", workload,
+                                         horizon=40_000.0, warmup=4_000.0,
+                                         gate_time=0.01, seed=3)
+        offered = 8 * workload.arrival_rate
+        rate = result.completed_tasks / (result.simulated_time - 4_000.0)
+        assert rate == pytest.approx(offered, rel=0.05)

@@ -1,0 +1,115 @@
+"""Tests for the packet-switched comparison system (Section II)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import simulate, simulate_packet_switched
+from repro.core.packet_system import PacketSwitchedSystem
+from repro.errors import ConfigurationError, SimulationError
+from repro.workload import Workload
+
+LIGHT = Workload(arrival_rate=0.02, transmission_rate=1.0, service_rate=0.2)
+
+
+class TestBasics:
+    def test_runs_and_completes_tasks(self):
+        result = simulate_packet_switched("8/1x8x8 OMEGA/2", LIGHT,
+                                          horizon=4_000.0, warmup=400.0,
+                                          seed=1)
+        assert result.completed_tasks > 0
+        assert result.mean_queueing_delay >= 0.0
+
+    def test_reproducible(self):
+        first = simulate_packet_switched("8/1x8x8 OMEGA/2", LIGHT,
+                                         horizon=2_000.0, seed=4)
+        second = simulate_packet_switched("8/1x8x8 OMEGA/2", LIGHT,
+                                          horizon=2_000.0, seed=4)
+        assert first.mean_response_time == second.mean_response_time
+
+    @pytest.mark.parametrize("kind", ["OMEGA", "CUBE", "BASELINE"])
+    def test_all_multistage_topologies(self, kind):
+        result = simulate_packet_switched(f"8/1x8x8 {kind}/2", LIGHT,
+                                          horizon=2_000.0, seed=1)
+        assert result.completed_tasks > 0
+
+    def test_non_multistage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PacketSwitchedSystem(SystemConfig.parse("8/1x8x8 XBAR/2"), LIGHT)
+
+    def test_partitioned_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PacketSwitchedSystem(SystemConfig.parse("8/2x4x4 OMEGA/2"), LIGHT)
+
+    def test_bad_packet_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PacketSwitchedSystem(SystemConfig.parse("8/1x8x8 OMEGA/2"),
+                                 LIGHT, packets_per_task=0)
+
+    def test_single_run_only(self):
+        system = PacketSwitchedSystem(SystemConfig.parse("8/1x8x8 OMEGA/2"),
+                                      LIGHT)
+        system.run(horizon=200.0)
+        with pytest.raises(SimulationError):
+            system.run(horizon=200.0)
+
+
+class TestConservation:
+    def test_throughput_matches_offered_load(self):
+        workload = Workload(arrival_rate=0.04, transmission_rate=1.0,
+                            service_rate=0.2)
+        result = simulate_packet_switched("8/1x8x8 OMEGA/2", workload,
+                                          horizon=40_000.0, warmup=2_000.0,
+                                          seed=6)
+        offered = 8 * workload.arrival_rate
+        rate = result.completed_tasks / (result.simulated_time - 2_000.0)
+        assert rate == pytest.approx(offered, rel=0.05)
+
+    def test_store_and_forward_latency_floor(self):
+        """Even an empty network imposes (stages + 1 + k - 1)/k transfer
+        slots of latency: the last packet leaves after k slots on the
+        injection link and then crosses stages more links."""
+        workload = Workload(arrival_rate=0.001, transmission_rate=1.0,
+                            service_rate=0.2,
+                            transmission_distribution="deterministic",
+                            service_distribution="deterministic")
+        k = 4
+        result = simulate_packet_switched("8/1x8x8 OMEGA/2", workload,
+                                          horizon=40_000.0, warmup=1_000.0,
+                                          packets_per_task=k, seed=2)
+        stages = 3
+        # Transit of the last packet: k slots to clear injection, then
+        # `stages` hops, each 1/k time units.
+        expected_transit = (k + stages) / k
+        measured_transit = (result.mean_response_time
+                            - result.mean_queueing_delay - 5.0)  # minus service
+        assert measured_transit == pytest.approx(expected_transit, rel=0.05)
+
+
+class TestCircuitVersusPacket:
+    """The Section II argument, measured."""
+
+    def test_packet_response_never_beats_circuit(self):
+        from repro.analysis import workload_at
+        for rho, ratio in ((0.5, 0.1), (0.5, 1.0)):
+            workload = workload_at(rho, ratio)
+            packet = simulate_packet_switched(
+                "16/1x16x16 OMEGA/2", workload, horizon=12_000.0,
+                warmup=1_200.0, packets_per_task=4, seed=3)
+            circuit = simulate("16/1x16x16 OMEGA/2", workload,
+                               horizon=12_000.0, warmup=1_200.0, seed=3)
+            assert packet.mean_response_time >= 0.95 * circuit.mean_response_time
+
+    def test_early_binding_destroys_packet_capacity_under_load(self):
+        """Packet mode must reserve the resource when the task leaves the
+        processor (a packet needs an address), so resources are held
+        through the whole transit; at high load the circuit system stays
+        stable while the packet system's queues run away."""
+        from repro.analysis import workload_at
+        workload = workload_at(0.9, 1.0)
+        packet = simulate_packet_switched(
+            "16/1x16x16 OMEGA/2", workload, horizon=12_000.0,
+            warmup=1_200.0, packets_per_task=4, seed=3)
+        circuit = simulate("16/1x16x16 OMEGA/2", workload,
+                           horizon=12_000.0, warmup=1_200.0, seed=3)
+        assert circuit.mean_queueing_delay < 5.0
+        assert packet.mean_queueing_delay > 10 * circuit.mean_queueing_delay

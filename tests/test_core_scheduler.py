@@ -1,0 +1,100 @@
+"""Tests for the centralized scheduling baselines (E13)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    centralized_multistage,
+    distributed_crossbar_delay,
+    distributed_multistage_delay,
+    priority_circuit_crossbar,
+    tree_allocator,
+)
+from repro.networks import OmegaTopology
+
+
+class TestPriorityCircuitCrossbar:
+    def test_assignment_and_delay(self):
+        outcome = priority_circuit_crossbar([0, 1, 2], [5, 6], processors=8,
+                                            resources=8)
+        assert outcome.assignment == {0: 5, 1: 6}
+        assert outcome.unserved == [2]
+        # 3 requests x (ceil(log2 8) + ceil(log2 64)) = 3 x (3 + 6).
+        assert outcome.delay_units == 27
+
+    def test_centralized_delay_grows_linearly_in_requests(self):
+        short = priority_circuit_crossbar(list(range(4)), list(range(8)), 8, 8)
+        long = priority_circuit_crossbar(list(range(8)), list(range(8)), 8, 8)
+        assert long.delay_units == 2 * short.delay_units
+
+
+class TestTreeAllocator:
+    def test_linear_in_resource_count(self):
+        outcome = tree_allocator([0, 1], [0, 1], resources=64)
+        assert outcome.delay_units == 2 * 64
+
+    def test_unserved_when_pool_exhausted(self):
+        outcome = tree_allocator([0, 1, 2], [9], resources=16)
+        assert outcome.assignment == {0: 9}
+        assert outcome.unserved == [1, 2]
+
+
+class TestCentralizedMultistage:
+    def test_serves_all_when_possible(self):
+        topology = OmegaTopology(8)
+        outcome = centralized_multistage(topology, list(range(8)),
+                                         list(range(8)),
+                                         rng=random.Random(0))
+        assert len(outcome.assignment) + len(outcome.unserved) == 8
+        # Each attempt costs ceil(log2 8) = 3 gate-delay units.
+        assert outcome.delay_units == 3 * outcome.attempts
+
+    def test_retries_counted(self):
+        topology = OmegaTopology(8)
+        outcome = centralized_multistage(topology, list(range(8)),
+                                         list(range(8)),
+                                         rng=random.Random(1))
+        # Blocking forces more attempts than requests on a full permutation.
+        assert outcome.attempts >= 8
+
+    def test_no_free_resources(self):
+        topology = OmegaTopology(8)
+        outcome = centralized_multistage(topology, [0, 1], [],
+                                         rng=random.Random(0))
+        assert outcome.assignment == {}
+        assert outcome.unserved == [0, 1]
+
+
+class TestScalingClaims:
+    """Distributed scheduling beats centralized as N grows (Sections IV-V)."""
+
+    def test_crossbar_crossover(self):
+        """Distributed 4(p+m) vs centralized O(p log2 m): centralized wins
+        only for tiny switches."""
+        small_distributed = distributed_crossbar_delay(4, 4)
+        small_centralized = priority_circuit_crossbar(
+            list(range(4)), list(range(4)), 4, 4).delay_units
+        assert small_centralized < small_distributed
+        big_distributed = distributed_crossbar_delay(64, 64)
+        big_centralized = priority_circuit_crossbar(
+            list(range(64)), list(range(64)), 64, 64).delay_units
+        assert big_distributed < big_centralized
+
+    def test_multistage_distributed_is_logarithmic(self):
+        assert distributed_multistage_delay(64) == pytest.approx(
+            2 * distributed_multistage_delay(8), rel=0.5)
+        ratios = [distributed_multistage_delay(2 ** k) / k for k in (3, 5, 7)]
+        assert max(ratios) / min(ratios) < 1.5  # ~ c * log2 N
+
+    def test_multistage_centralized_grows_much_faster(self):
+        small = centralized_multistage(
+            OmegaTopology(8), list(range(8)), list(range(8)),
+            rng=random.Random(2)).delay_units
+        large = centralized_multistage(
+            OmegaTopology(64), list(range(64)), list(range(64)),
+            rng=random.Random(2)).delay_units
+        distributed_growth = (distributed_multistage_delay(64)
+                              / distributed_multistage_delay(8))
+        centralized_growth = large / small
+        assert centralized_growth > 3 * distributed_growth

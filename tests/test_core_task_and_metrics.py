@@ -1,0 +1,75 @@
+"""Tests for the task life-cycle record and the metrics collector."""
+
+import math
+
+import pytest
+
+from repro.core import MetricsCollector, Task, summarize
+
+
+class TestTask:
+    def test_delays_none_until_events_happen(self):
+        task = Task(task_id=1, processor=0, created=10.0)
+        assert task.queueing_delay is None
+        assert task.response_time is None
+        assert task.transmission_time is None
+
+    def test_life_cycle_timings(self):
+        task = Task(task_id=1, processor=0, created=10.0)
+        task.transmission_started = 12.5
+        task.transmission_finished = 14.0
+        task.service_finished = 20.0
+        assert task.queueing_delay == 2.5
+        assert task.transmission_time == 1.5
+        assert task.response_time == 10.0
+
+
+class TestMetricsCollector:
+    def make_history(self, collector):
+        collector.task_generated(0.0)
+        collector.transmission_started(2.0, waited=2.0)
+        collector.transmission_finished(3.0)
+        collector.service_finished(8.0, response_time=8.0)
+
+    def test_counts(self):
+        collector = MetricsCollector(service_rate=0.2)
+        self.make_history(collector)
+        assert collector.generated_tasks == 1
+        assert collector.completed_tasks == 1
+        assert collector.queueing_delay.mean == 2.0
+        assert collector.response_time.mean == 8.0
+
+    def test_time_weighted_signals(self):
+        collector = MetricsCollector(service_rate=0.2)
+        self.make_history(collector)
+        # Queue occupied 0..2, bus 2..3, resource 3..8.
+        assert collector.queue_length.time_average(10.0) == pytest.approx(0.2)
+        assert collector.busy_buses.time_average(10.0) == pytest.approx(0.1)
+        assert collector.busy_resources.time_average(10.0) == pytest.approx(0.5)
+
+    def test_reset_discards_history(self):
+        collector = MetricsCollector(service_rate=0.2)
+        self.make_history(collector)
+        collector.reset(10.0)
+        assert collector.completed_tasks == 0
+        assert math.isnan(collector.queueing_delay.mean)
+        assert collector.queue_length.time_average(20.0) == pytest.approx(0.0)
+
+    def test_summarize(self):
+        collector = MetricsCollector(service_rate=0.2)
+        self.make_history(collector)
+        result = summarize(collector, now=10.0, total_buses=2,
+                           total_resources=4, blocking_fraction=0.25)
+        assert result.mean_queueing_delay == 2.0
+        assert result.normalized_delay == pytest.approx(0.4)
+        assert result.bus_utilization == pytest.approx(0.05)
+        assert result.resource_utilization == pytest.approx(0.125)
+        assert result.network_blocking_fraction == 0.25
+        assert result.completed_tasks == 1
+        assert "mu_s*d" in str(result)
+
+    def test_summarize_infinite_resources(self):
+        collector = MetricsCollector(service_rate=0.2)
+        result = summarize(collector, now=10.0, total_buses=1,
+                           total_resources=math.inf, blocking_fraction=0.0)
+        assert result.resource_utilization == 0.0

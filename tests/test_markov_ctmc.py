@@ -1,0 +1,96 @@
+"""Unit tests for the generic CTMC machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.markov import FiniteCTMC
+
+
+def two_state(a=1.0, b=2.0):
+    """0 -> 1 at rate a, 1 -> 0 at rate b."""
+    def transitions(state):
+        if state == 0:
+            yield 1, a
+        else:
+            yield 0, b
+    return transitions
+
+
+class TestExploration:
+    def test_reachable_states_found(self):
+        chain = FiniteCTMC(two_state(), initial_states=[0])
+        assert chain.num_states == 2
+        assert set(chain.states) == {0, 1}
+
+    def test_filter_truncates(self):
+        def birth_death(state):
+            yield state + 1, 1.0
+            if state > 0:
+                yield state - 1, 2.0
+
+        chain = FiniteCTMC(birth_death, initial_states=[0],
+                           state_filter=lambda s: s <= 10)
+        assert chain.num_states == 11
+
+    def test_negative_rate_rejected(self):
+        def bad(state):
+            yield 1 - state, -1.0
+
+        with pytest.raises(AnalysisError):
+            FiniteCTMC(bad, initial_states=[0])
+
+    def test_zero_rates_and_self_loops_ignored(self):
+        def with_noise(state):
+            yield state, 5.0          # self loop
+            yield 1 - state, 0.0      # zero rate
+            yield 1 - state, 1.0
+
+        chain = FiniteCTMC(with_noise, initial_states=[0])
+        q = chain.generator_matrix().toarray()
+        assert q[0, 0] == pytest.approx(-1.0)
+        assert q[0, 1] == pytest.approx(1.0)
+
+
+class TestStationary:
+    def test_two_state_balance(self):
+        chain = FiniteCTMC(two_state(a=1.0, b=2.0), initial_states=[0])
+        pi = chain.stationary_distribution()
+        by_state = dict(zip(chain.states, pi))
+        assert by_state[0] == pytest.approx(2 / 3)
+        assert by_state[1] == pytest.approx(1 / 3)
+
+    def test_generator_rows_sum_to_zero(self):
+        chain = FiniteCTMC(two_state(), initial_states=[0])
+        q = chain.generator_matrix().toarray()
+        assert np.allclose(q.sum(axis=1), 0.0)
+
+    def test_mm1_truncated_matches_closed_form(self):
+        arrival, service = 0.5, 1.0
+
+        def mm1(state):
+            yield state + 1, arrival
+            if state > 0:
+                yield state - 1, service
+
+        chain = FiniteCTMC(mm1, initial_states=[0],
+                           state_filter=lambda s: s <= 120)
+        pi = chain.stationary_distribution()
+        by_state = dict(zip(chain.states, pi))
+        rho = arrival / service
+        for n in range(5):
+            assert by_state[n] == pytest.approx((1 - rho) * rho ** n, rel=1e-9)
+
+    def test_single_state_chain(self):
+        chain = FiniteCTMC(lambda s: [], initial_states=["only"])
+        assert chain.stationary_distribution() == pytest.approx([1.0])
+
+    def test_expected_value_and_probability(self):
+        chain = FiniteCTMC(two_state(a=1.0, b=1.0), initial_states=[0])
+        assert chain.expected_value(float) == pytest.approx(0.5)
+        assert chain.probability(lambda s: s == 1) == pytest.approx(0.5)
+
+    def test_distribution_reused(self):
+        chain = FiniteCTMC(two_state(), initial_states=[0])
+        pi = chain.stationary_distribution()
+        assert chain.expected_value(float, pi) == chain.expected_value(float)

@@ -1,0 +1,120 @@
+"""Tests for the exact small-m multiple-bus chain (Section IV)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.markov import solve_sbus
+from repro.markov.multibus_chain import MultibusChain, solve_multibus
+
+
+class TestStructure:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MultibusChain(0.0, 1.0, 1.0, 2, 2)
+        with pytest.raises(ConfigurationError):
+            MultibusChain(1.0, 1.0, 1.0, 0, 2)
+        with pytest.raises(ConfigurationError):
+            MultibusChain(1.0, 1.0, 1.0, 2, 0)
+
+    def test_large_m_refused(self):
+        """The paper's point: the state space explodes; m <= 4 only."""
+        with pytest.raises(ConfigurationError):
+            MultibusChain(1.0, 1.0, 1.0, 5, 2)
+
+    def test_dispatch_prefers_lowest_port(self):
+        chain = MultibusChain(1.0, 1.0, 1.0, 3, 2)
+        assert chain.dispatch_port(((1, 0), (0, 1), (0, 0))) == 1
+        assert chain.dispatch_port(((1, 2), (1, 2), (1, 2))) is None
+        assert chain.dispatch_port(((0, 2), (0, 1), (0, 0))) == 1
+
+    def test_queued_states_cannot_dispatch(self):
+        """Reachability invariant: a queued task coexists only with fully
+        unavailable ports (else it would have been dispatched)."""
+        from repro.markov.ctmc import FiniteCTMC
+        chain = MultibusChain(0.8, 1.0, 0.4, 2, 2)
+        ctmc = FiniteCTMC(chain.transitions,
+                          initial_states=[chain.initial_state()],
+                          state_filter=lambda s: chain.level(s) <= 12)
+        for state in ctmc.states:
+            queued, ports = state
+            if queued > 0:
+                assert chain.dispatch_port(ports) is None
+
+
+class TestAgainstSingleBus:
+    @pytest.mark.parametrize("arrival,ratio,resources", [
+        (0.10, 0.1, 2),
+        (0.30, 1.0, 3),
+    ])
+    def test_m1_equals_the_sbus_chain(self, arrival, ratio, resources):
+        single = solve_sbus(arrival, 1.0, ratio, resources)
+        multi = solve_multibus(arrival, 1.0, ratio, buses=1,
+                               resources_per_bus=resources)
+        assert multi.mean_delay == pytest.approx(single.mean_delay, rel=1e-6)
+        assert multi.bus_utilization == pytest.approx(
+            single.bus_utilization, rel=1e-6)
+        assert multi.mean_busy_resources == pytest.approx(
+            single.mean_busy_resources, rel=1e-6)
+
+
+class TestConservation:
+    def test_throughput_laws(self):
+        solution = solve_multibus(0.5, 1.0, 0.3, buses=2, resources_per_bus=2)
+        assert solution.mean_busy_buses * 1.0 == pytest.approx(0.5, rel=1e-6)
+        assert solution.mean_busy_resources * 0.3 == pytest.approx(
+            0.5, rel=1e-6)
+
+    def test_two_buses_beat_one_at_equal_resources(self):
+        """Splitting 4 resources over 2 buses removes bus serialization."""
+        one = solve_sbus(0.5, 1.0, 0.3, 4)
+        two = solve_multibus(0.5, 1.0, 0.3, buses=2, resources_per_bus=2)
+        assert two.mean_delay < one.mean_delay
+
+
+class TestAgainstSimulation:
+    """The chain is an infinite-source model: it excludes the small
+    per-processor self-serialization (a queued task waits out its own
+    processor's transmission, an excess of order lambda/mu_n per task), so
+    it lower-bounds the simulator and converges to it as p grows at fixed
+    aggregate load and as resource queueing dominates."""
+
+    def test_m2_matches_crossbar_simulator_when_resource_bound(self):
+        from repro.core import simulate
+        from repro.workload import Workload
+        aggregate = 0.70   # resource utilization 0.78: queueing dominates
+        workload = Workload(arrival_rate=aggregate / 16,
+                            transmission_rate=1.0, service_rate=0.15)
+        result = simulate("16/1x16x2 XBAR/3", workload, horizon=200_000.0,
+                          warmup=15_000.0, seed=13)
+        exact = solve_multibus(aggregate, 1.0, 0.15, buses=2,
+                               resources_per_bus=3)
+        assert result.mean_queueing_delay == pytest.approx(
+            exact.mean_delay, rel=0.12)
+
+    def test_chain_lower_bounds_finite_source_simulation(self):
+        from repro.core import simulate
+        from repro.workload import Workload
+        workload = Workload(arrival_rate=0.04, transmission_rate=1.0,
+                            service_rate=0.15)
+        result = simulate("8/1x8x2 XBAR/3", workload, horizon=100_000.0,
+                          warmup=8_000.0, seed=13)
+        exact = solve_multibus(8 * 0.04, 1.0, 0.15, buses=2,
+                               resources_per_bus=3)
+        assert exact.mean_delay < result.mean_queueing_delay
+        # ... but only by the self-serialization margin.
+        assert result.mean_queueing_delay < 1.5 * exact.mean_delay
+
+    def test_finite_source_excess_shrinks_with_processor_count(self):
+        from repro.core import simulate
+        from repro.workload import Workload
+        exact = solve_multibus(0.32, 1.0, 0.15, buses=2,
+                               resources_per_bus=3).mean_delay
+        excesses = []
+        for processors in (8, 32):
+            workload = Workload(arrival_rate=0.32 / processors,
+                                transmission_rate=1.0, service_rate=0.15)
+            result = simulate(f"{processors}/1x{processors}x2 XBAR/3",
+                              workload, horizon=150_000.0, warmup=10_000.0,
+                              seed=13)
+            excesses.append(result.mean_queueing_delay - exact)
+        assert excesses[1] < excesses[0]

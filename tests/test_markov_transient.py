@@ -1,0 +1,85 @@
+"""Tests for transient CTMC analysis by uniformization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.markov import (
+    FiniteCTMC,
+    SbusChain,
+    time_to_stationarity,
+    transient_distribution,
+)
+
+
+def two_state_chain(a=1.0, b=2.0):
+    def transitions(state):
+        if state == 0:
+            yield 1, a
+        else:
+            yield 0, b
+    return FiniteCTMC(transitions, initial_states=[0])
+
+
+class TestTransientDistribution:
+    def test_time_zero_is_initial(self):
+        chain = two_state_chain()
+        result = transient_distribution(chain, 0.0)
+        assert result == pytest.approx([1.0, 0.0])
+
+    def test_matches_closed_form_two_state(self):
+        """P_00(t) = b/(a+b) + a/(a+b) exp(-(a+b) t)."""
+        a, b = 1.0, 2.0
+        chain = two_state_chain(a, b)
+        for t in (0.1, 0.5, 2.0, 10.0):
+            result = transient_distribution(chain, t)
+            expected = b / (a + b) + (a / (a + b)) * np.exp(-(a + b) * t)
+            assert result[0] == pytest.approx(expected, abs=1e-8)
+
+    def test_converges_to_stationary(self):
+        chain = two_state_chain()
+        stationary = chain.stationary_distribution()
+        late = transient_distribution(chain, 100.0)
+        assert late == pytest.approx(stationary, abs=1e-9)
+
+    def test_custom_initial_distribution(self):
+        chain = two_state_chain()
+        result = transient_distribution(chain, 0.0, initial=[0.25, 0.75])
+        assert result == pytest.approx([0.25, 0.75])
+
+    def test_sbus_chain_transient_mass_conserved(self):
+        chain_spec = SbusChain(arrival_rate=0.4, transmission_rate=1.0,
+                               service_rate=0.5, resources=2)
+        chain = FiniteCTMC(chain_spec.transitions, initial_states=[(0, 0, 0)],
+                           state_filter=lambda s: chain_spec.level(s) <= 30)
+        for t in (0.5, 5.0, 50.0):
+            result = transient_distribution(chain, t)
+            assert result.sum() == pytest.approx(1.0)
+            assert result.min() >= 0.0
+
+    def test_invalid_inputs(self):
+        chain = two_state_chain()
+        with pytest.raises(AnalysisError):
+            transient_distribution(chain, -1.0)
+        with pytest.raises(AnalysisError):
+            transient_distribution(chain, 1.0, initial=[0.7, 0.7])
+        with pytest.raises(AnalysisError):
+            transient_distribution(chain, 1.0, initial=[1.0])
+
+
+class TestTimeToStationarity:
+    def test_two_state_mixes_fast(self):
+        chain = two_state_chain()
+        mixing = time_to_stationarity(chain, tolerance=1e-3)
+        # Rate a+b = 3: a handful of time units suffices.
+        assert mixing < 20.0
+
+    def test_warmup_guidance_for_sbus(self):
+        """The SBUS chain at moderate load mixes far faster than the
+        simulation warm-ups used in the benchmarks (>= 800 time units)."""
+        chain_spec = SbusChain(arrival_rate=0.3, transmission_rate=1.0,
+                               service_rate=0.5, resources=2)
+        chain = FiniteCTMC(chain_spec.transitions, initial_states=[(0, 0, 0)],
+                           state_filter=lambda s: chain_spec.level(s) <= 40)
+        mixing = time_to_stationarity(chain, tolerance=1e-3)
+        assert mixing < 800.0

@@ -1,0 +1,116 @@
+"""Tests for the address-mapping baselines and the Section II example."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.networks import (
+    OmegaTopology,
+    max_conflict_free,
+    permutation_passable,
+    random_mapping_outcome,
+    sequential_tag_routing,
+)
+
+GOOD_MAPPINGS = [
+    [(0, 0), (1, 1), (2, 2)],
+    [(0, 1), (1, 0), (2, 2)],
+    [(0, 2), (1, 0), (2, 1)],
+    [(0, 2), (1, 1), (2, 0)],
+]
+BAD_MAPPINGS = [
+    [(0, 0), (1, 2), (2, 1)],
+    [(0, 1), (1, 2), (2, 0)],
+]
+
+
+class TestSectionTwoExample:
+    """The paper's 8x8 Omega mapping example, verbatim (E10)."""
+
+    @pytest.mark.parametrize("mapping", GOOD_MAPPINGS)
+    def test_good_mappings_route_fully(self, mapping):
+        outcome = sequential_tag_routing(OmegaTopology(8), mapping)
+        assert len(outcome.routed) == 3
+        assert outcome.blocked == []
+
+    @pytest.mark.parametrize("mapping", BAD_MAPPINGS)
+    def test_bad_mappings_route_two_of_three(self, mapping):
+        outcome = sequential_tag_routing(OmegaTopology(8), mapping)
+        assert len(outcome.routed) == 2
+        assert len(outcome.blocked) == 1
+
+    def test_optimal_scheduler_recovers_all_three(self):
+        best, mapping = max_conflict_free(OmegaTopology(8), [0, 1, 2], [0, 1, 2])
+        assert best == 3
+        assert sorted(mapping.keys()) == [0, 1, 2]
+        assert sorted(mapping.values()) == [0, 1, 2]
+
+
+class TestSequentialRouting:
+    def test_empty_batch(self):
+        outcome = sequential_tag_routing(OmegaTopology(8), [])
+        assert outcome.routed == {}
+        assert outcome.blocking_fraction == 0.0
+
+    def test_duplicate_destination_blocks_second(self):
+        outcome = sequential_tag_routing(OmegaTopology(8), [(0, 3), (1, 3)])
+        assert outcome.routed == {0: 3}
+        assert outcome.blocked == [1]
+        assert outcome.blocking_fraction == 0.5
+
+
+class TestMaxConflictFree:
+    def test_single_pair_always_routes(self):
+        best, mapping = max_conflict_free(OmegaTopology(8), [5], [2])
+        assert best == 1
+        assert mapping == {5: 2}
+
+    def test_empty_inputs(self):
+        best, mapping = max_conflict_free(OmegaTopology(8), [], [1, 2])
+        assert best == 0
+        assert mapping == {}
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_optimal_at_least_greedy(self, data):
+        topology = OmegaTopology(8)
+        sources = data.draw(st.lists(st.integers(0, 7), unique=True,
+                                     min_size=1, max_size=4))
+        destinations = data.draw(st.lists(st.integers(0, 7), unique=True,
+                                          min_size=1, max_size=4))
+        rng = random.Random(0)
+        greedy = random_mapping_outcome(topology, list(sources),
+                                        list(destinations), rng)
+        best, mapping = max_conflict_free(topology, sources, destinations)
+        assert best >= len(greedy.routed)
+        # And the optimal mapping really is conflict-free.
+        assert not topology.paths_conflict(list(mapping.items()))
+
+
+class TestPermutations:
+    def test_identity_passes(self):
+        assert permutation_passable(OmegaTopology(8), list(range(8)))
+
+    def test_known_blocking_permutation(self):
+        # Swap pattern derived from the Section II example: extending
+        # {(0,1),(1,2),(2,0)} to a full permutation keeps its conflict.
+        permutation = [1, 2, 0, 3, 4, 5, 6, 7]
+        assert not permutation_passable(OmegaTopology(8), permutation)
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            permutation_passable(OmegaTopology(8), [0] * 8)
+
+    def test_most_random_permutations_block(self):
+        """An 8x8 Omega passes only 2^(12) of 8! permutations; random ones
+        overwhelmingly block (the basis of the ~0.3 figure)."""
+        rng = random.Random(1)
+        passed = 0
+        for _ in range(200):
+            permutation = list(range(8))
+            rng.shuffle(permutation)
+            if permutation_passable(OmegaTopology(8), permutation):
+                passed += 1
+        assert passed < 30

@@ -1,0 +1,146 @@
+"""Tests for the gate-level crossbar cell and wavefront cycles (Table I)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchedulingError
+from repro.networks import (
+    MODE_REQUEST,
+    MODE_RESET,
+    REQUEST_GATE_DELAY,
+    RESET_GATE_DELAY,
+    DistributedCrossbar,
+    cell_logic,
+    priority_match,
+)
+
+
+class TestCellTruthTable:
+    """Exhaustive check of Table I (E8)."""
+
+    @pytest.mark.parametrize("x,y,latch,expected", [
+        # MODE = request: (x_next, y_next, set, reset)
+        (0, 0, False, (0, 0, 0, 0)),
+        (0, 0, True, (0, 0, 0, 0)),
+        (0, 1, False, (0, 1, 0, 0)),   # pass Y when latch off
+        (0, 1, True, (0, 0, 0, 0)),    # latched cell hides the bus below
+        (1, 0, False, (1, 0, 0, 0)),   # request travels right
+        (1, 0, True, (1, 0, 0, 0)),
+        (1, 1, False, (0, 0, 1, 0)),   # capture: set latch
+        (1, 1, True, (0, 0, 1, 0)),
+    ])
+    def test_request_mode(self, x, y, latch, expected):
+        assert cell_logic(MODE_REQUEST, x, y, latch) == expected
+
+    @pytest.mark.parametrize("x,y,latch,expected", [
+        # MODE = reset: X and Y pass through; X resets the latch.
+        (0, 0, False, (0, 0, 0, 0)),
+        (0, 1, False, (0, 1, 0, 0)),
+        (1, 0, False, (1, 0, 0, 1)),
+        (1, 1, False, (1, 1, 0, 1)),
+        (1, 1, True, (1, 1, 0, 1)),
+    ])
+    def test_reset_mode(self, x, y, latch, expected):
+        assert cell_logic(MODE_RESET, x, y, latch) == expected
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            cell_logic(MODE_REQUEST, 2, 0, False)
+        with pytest.raises(ValueError):
+            cell_logic("half-duplex", 0, 0, False)
+
+
+class TestRequestCycle:
+    def test_single_request_takes_first_available_bus(self):
+        switch = DistributedCrossbar(4, 4)
+        result = switch.request_cycle([2], [1, 3])
+        assert result.granted == {2: 1}
+        assert result.unsatisfied == set()
+        assert result.unallocated == {3}
+        assert switch.connections() == {2: 1}
+
+    def test_lower_rows_have_priority(self):
+        switch = DistributedCrossbar(4, 4)
+        result = switch.request_cycle([0, 1, 2], [2])
+        assert result.granted == {0: 2}
+        assert result.unsatisfied == {1, 2}
+
+    def test_each_row_takes_lowest_remaining_column(self):
+        switch = DistributedCrossbar(4, 4)
+        result = switch.request_cycle([0, 1], [0, 1, 2])
+        assert result.granted == {0: 0, 1: 1}
+        assert result.unallocated == {2}
+
+    def test_latched_cell_hides_column(self):
+        switch = DistributedCrossbar(4, 4)
+        switch.request_cycle([0], [1])
+        # Column 1 stays latched by row 0; even if the controller (wrongly)
+        # raises Y on it, rows below must not see it.
+        result = switch.request_cycle([2], [1])
+        assert result.granted == {}
+        assert result.unsatisfied == {2}
+
+    def test_existing_connection_not_disturbed(self):
+        switch = DistributedCrossbar(4, 4)
+        switch.request_cycle([0], [0, 1])
+        switch.request_cycle([1], [1])
+        assert switch.connections() == {0: 0, 1: 1}
+
+    def test_gate_delay_bound(self):
+        """The request wavefront settles within 4 (p + m) gate delays."""
+        for p, m in [(2, 2), (4, 8), (16, 32)]:
+            switch = DistributedCrossbar(p, m)
+            result = switch.request_cycle(list(range(p)), list(range(m)))
+            assert result.gate_delays <= REQUEST_GATE_DELAY * (p + m)
+            assert result.gate_delays > 0
+
+    def test_out_of_range_rejected(self):
+        switch = DistributedCrossbar(2, 2)
+        with pytest.raises(SchedulingError):
+            switch.request_cycle([2], [0])
+        with pytest.raises(SchedulingError):
+            switch.request_cycle([0], [5])
+
+
+class TestResetCycle:
+    def test_reset_releases_row(self):
+        switch = DistributedCrossbar(4, 4)
+        switch.request_cycle([0, 1], [0, 1])
+        result = switch.reset_cycle([0])
+        assert result.granted == {0: 0}
+        assert switch.connections() == {1: 1}
+
+    def test_reset_delay_bound(self):
+        switch = DistributedCrossbar(8, 8)
+        result = switch.reset_cycle([0])
+        assert result.gate_delays == RESET_GATE_DELAY * 16
+
+    def test_released_bus_reusable(self):
+        switch = DistributedCrossbar(2, 1)
+        switch.request_cycle([0], [0])
+        switch.reset_cycle([0])
+        result = switch.request_cycle([1], [0])
+        assert result.granted == {1: 0}
+
+
+class TestPriorityMatchEquivalence:
+    """The closed form must equal the wavefront hardware exactly."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        processors=st.integers(1, 8),
+        buses=st.integers(1, 8),
+        data=st.data(),
+    )
+    def test_matches_hardware(self, processors, buses, data):
+        requesting = data.draw(st.sets(
+            st.integers(0, processors - 1)))
+        available = data.draw(st.sets(st.integers(0, buses - 1)))
+        switch = DistributedCrossbar(processors, buses)
+        hardware = switch.request_cycle(sorted(requesting), sorted(available))
+        closed_form = priority_match(sorted(requesting), sorted(available))
+        assert hardware.granted == closed_form
+
+    def test_occupied_columns_excluded(self):
+        assignment = priority_match([0, 1], [0, 1, 2], occupied_columns={0})
+        assert assignment == {0: 1, 1: 2}

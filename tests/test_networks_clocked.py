@@ -1,0 +1,168 @@
+"""Tests for the clocked distributed scheduler (Fig. 10 / Fig. 11)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.networks import (
+    ClockedMultistageScheduler,
+    CubeTopology,
+    InterchangeBox,
+    OmegaTopology,
+)
+
+
+def omega_scheduler(free, size=8):
+    return ClockedMultistageScheduler(OmegaTopology(size), free)
+
+
+class TestInterchangeBox:
+    def test_free_box_allows_both_outputs(self):
+        box = InterchangeBox(0, 0)
+        assert box.allowed_outputs(0) == [0, 1]
+
+    def test_one_circuit_forces_the_setting(self):
+        box = InterchangeBox(0, 0)
+        box.engage(0, 1)
+        assert box.allowed_outputs(1) == [0]
+
+    def test_saturated_box_allows_nothing(self):
+        box = InterchangeBox(0, 0)
+        box.engage(0, 0)
+        box.engage(1, 1)
+        with pytest.raises(SchedulingError):
+            box.allowed_outputs(0)
+
+    def test_output_reuse_rejected(self):
+        box = InterchangeBox(0, 0)
+        box.engage(0, 1)
+        with pytest.raises(SchedulingError):
+            box.engage(1, 1)
+
+    def test_disengage(self):
+        box = InterchangeBox(0, 0)
+        box.engage(0, 0)
+        box.disengage(0)
+        assert box.allowed_outputs(0) == [0, 1]
+        with pytest.raises(SchedulingError):
+            box.disengage(0)
+
+    def test_status_reflects_registers_and_links(self):
+        box = InterchangeBox(0, 0)
+        box.set_available(0, 0, True)
+        assert box.status_for_input(0, link_free=lambda port: True)
+        assert not box.status_for_input(0, link_free=lambda port: False)
+        box.set_available(0, 0, False)
+        assert not box.status_for_input(0, link_free=lambda port: True)
+
+
+class TestFig11:
+    """The paper's worked example, reproduced exactly (E5)."""
+
+    def test_all_requests_allocated(self):
+        result = omega_scheduler({0: 1, 1: 1, 4: 1, 5: 1}).run([0, 3, 4, 5])
+        assert len(result.allocated) == 4
+        assert len(result.blocked) == 0
+
+    def test_average_boxes_is_three_and_a_half(self):
+        result = omega_scheduler({0: 1, 1: 1, 4: 1, 5: 1}).run([0, 3, 4, 5])
+        assert result.average_hops == 3.5
+        assert result.total_hops == 14
+
+    def test_each_port_used_once(self):
+        result = omega_scheduler({0: 1, 1: 1, 4: 1, 5: 1}).run([0, 3, 4, 5])
+        ports = sorted(o.port for o in result.allocated)
+        assert ports == [0, 1, 4, 5]
+
+    def test_rejected_request_reroutes(self):
+        """Exactly one request is rejected once and re-routes (5 box visits)."""
+        result = omega_scheduler({0: 1, 1: 1, 4: 1, 5: 1}).run([0, 3, 4, 5])
+        hop_counts = sorted(o.hops for o in result.outcomes.values())
+        assert hop_counts == [3, 3, 3, 5]
+
+
+class TestGeneralBehaviour:
+    def test_single_request_takes_minimum_path(self):
+        result = omega_scheduler({6: 1}).run([2])
+        outcome = result.outcomes[2]
+        assert outcome.port == 6
+        assert outcome.hops == 3
+
+    def test_no_free_resources_blocks_everything(self):
+        result = omega_scheduler({}).run([0, 1])
+        assert len(result.blocked) == 2
+        assert result.blocking_fraction == 1.0
+
+    def test_fewer_resources_than_requests(self):
+        result = omega_scheduler({3: 1}).run([0, 1, 2])
+        assert len(result.allocated) == 1
+        assert len(result.blocked) == 2
+
+    def test_multiple_resources_per_port(self):
+        """Two requests can land on the same port when it has two resources
+        (they use the same output link one after another? No — the link is
+        held by the established circuit, so the second goes elsewhere or
+        blocks; with r=2 on a single port only one allocation can hold the
+        port link at a time)."""
+        result = omega_scheduler({3: 2}).run([0, 1])
+        # The port's bus (output link) is circuit-held by the first winner.
+        assert len(result.allocated) == 1
+
+    def test_full_load_full_pool_allocates_everything(self):
+        result = omega_scheduler({port: 1 for port in range(8)}).run(list(range(8)))
+        assert len(result.allocated) == 8
+        ports = sorted(o.port for o in result.allocated)
+        assert ports == list(range(8))
+
+    def test_duplicate_requesters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            omega_scheduler({0: 1}).run([1, 1])
+
+    def test_out_of_range_requester_rejected(self):
+        with pytest.raises(ConfigurationError):
+            omega_scheduler({0: 1}).run([8])
+
+    def test_bad_resource_map_rejected(self):
+        with pytest.raises(ConfigurationError):
+            omega_scheduler({9: 1})
+        with pytest.raises(ConfigurationError):
+            omega_scheduler({0: -1})
+
+    def test_cube_topology_supported(self):
+        scheduler = ClockedMultistageScheduler(CubeTopology(8), {2: 1, 5: 1})
+        result = scheduler.run([0, 7])
+        assert len(result.allocated) == 2
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_allocations_are_consistent(self, data):
+        size = data.draw(st.sampled_from([4, 8]))
+        requesters = data.draw(st.lists(
+            st.integers(0, size - 1), unique=True, min_size=1, max_size=size))
+        free_ports = data.draw(st.lists(
+            st.integers(0, size - 1), unique=True, min_size=0, max_size=size))
+        scheduler = omega_scheduler({p: 1 for p in free_ports}, size=size)
+        result = scheduler.run(requesters)
+        allocated_ports = [o.port for o in result.allocated]
+        # No port oversubscribed, no phantom ports.
+        assert len(allocated_ports) == len(set(allocated_ports))
+        assert set(allocated_ports) <= set(free_ports)
+        # Never more allocations than feasible.
+        assert len(result.allocated) <= min(len(requesters), len(free_ports))
+        # Hops at least the stage count for every allocated request.
+        for outcome in result.allocated:
+            assert outcome.hops >= scheduler.topology.stages
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_terminates_quickly(self, data):
+        size = 8
+        requesters = data.draw(st.lists(
+            st.integers(0, size - 1), unique=True, min_size=1, max_size=size))
+        free_ports = data.draw(st.lists(
+            st.integers(0, size - 1), unique=True, min_size=1, max_size=size))
+        scheduler = omega_scheduler({p: 1 for p in free_ports})
+        result = scheduler.run(requesters, max_ticks=500)
+        assert result.ticks < 500

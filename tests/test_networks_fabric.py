@@ -1,0 +1,134 @@
+"""Tests for the multistage circuit fabric (settled-status model)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchedulingError
+from repro.networks import (
+    BaselineTopology,
+    CubeTopology,
+    MultistageFabric,
+    OmegaTopology,
+)
+
+
+def omega_fabric(size=8):
+    return MultistageFabric(OmegaTopology(size))
+
+
+class TestBasicConnect:
+    def test_connects_to_candidate(self):
+        fabric = omega_fabric()
+        connection = fabric.connect(0, {5})
+        assert connection is not None
+        assert connection.output_port == 5
+        assert connection.hops == 3
+        # Path holds one link per column.
+        assert sorted(column for column, _ in connection.links) == [0, 1, 2, 3]
+
+    def test_empty_candidates_refused(self):
+        fabric = omega_fabric()
+        assert fabric.connect(0, set()) is None
+
+    def test_prefers_any_reachable_candidate(self):
+        fabric = omega_fabric()
+        connection = fabric.connect(3, {1, 6})
+        assert connection.output_port in {1, 6}
+
+    def test_release_frees_links(self):
+        fabric = omega_fabric()
+        connection = fabric.connect(0, {0})
+        fabric.release(connection)
+        assert fabric.connect(0, {0}) is not None
+
+    def test_full_identity_permutation_routes(self):
+        fabric = omega_fabric()
+        for source in range(8):
+            assert fabric.connect(source, {source}) is not None
+
+
+class TestBlocking:
+    def test_conflicting_pair_blocks(self):
+        """The Section II counterexample: {(0,0),(1,2),(2,1)} cannot all route."""
+        fabric = omega_fabric()
+        assert fabric.connect(0, {0}) is not None
+        assert fabric.connect(1, {2}) is not None
+        assert fabric.connect(2, {1}) is None
+        assert fabric.connect_blocked == 1
+
+    def test_search_avoids_conflict_when_alternatives_exist(self):
+        """Distributed search routes around: processor 2 takes another
+        free port instead of failing on a specific one."""
+        fabric = omega_fabric()
+        fabric.connect(0, {0})
+        fabric.connect(1, {2})
+        connection = fabric.connect(2, {1, 3, 4, 5, 6, 7})
+        assert connection is not None
+
+    def test_blocked_connection_leaves_no_residue(self):
+        fabric = omega_fabric()
+        first = fabric.connect(0, {0})
+        second = fabric.connect(1, {2})
+        assert fabric.connect(2, {1}) is None
+        fabric.release(first)
+        fabric.release(second)
+        # Now the previously blocked circuit must succeed.
+        assert fabric.connect(2, {1}) is not None
+
+
+class TestInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_connect_release_roundtrip_restores_state(self, data):
+        size = data.draw(st.sampled_from([4, 8, 16]))
+        topology_class = data.draw(st.sampled_from([OmegaTopology, CubeTopology, BaselineTopology]))
+        fabric = MultistageFabric(topology_class(size))
+        connections = []
+        for source in data.draw(st.lists(
+                st.integers(0, size - 1), unique=True, max_size=size)):
+            candidates = data.draw(st.sets(
+                st.integers(0, size - 1), min_size=1, max_size=size))
+            connection = fabric.connect(source, candidates)
+            if connection is not None:
+                connections.append(connection)
+        for connection in connections:
+            fabric.release(connection)
+        assert fabric._busy == set()
+        assert all(not usage for usage in fabric._box_usage.values())
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_active_circuits_are_link_disjoint(self, data):
+        size = 8
+        fabric = omega_fabric(size)
+        held = []
+        for source in range(size):
+            candidates = data.draw(st.sets(
+                st.integers(0, size - 1), min_size=1, max_size=size))
+            connection = fabric.connect(source, candidates)
+            if connection is not None:
+                held.append(connection)
+        seen = set()
+        for connection in held:
+            assert not (connection.links & seen)
+            seen |= connection.links
+
+    def test_release_unknown_connection_rejected(self):
+        fabric = omega_fabric()
+        connection = fabric.connect(0, {0})
+        fabric.release(connection)
+        with pytest.raises(SchedulingError):
+            fabric.release(connection)
+
+
+class TestCubeFabric:
+    def test_cube_behaves_like_a_multistage_fabric(self):
+        fabric = MultistageFabric(CubeTopology(8))
+        connection = fabric.connect(5, {3})
+        assert connection is not None
+        assert connection.hops == 3
+
+    def test_cube_identity_permutation(self):
+        fabric = MultistageFabric(CubeTopology(8))
+        for source in range(8):
+            assert fabric.connect(source, {source}) is not None

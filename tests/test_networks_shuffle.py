@@ -1,0 +1,83 @@
+"""Unit and property tests for the bit-permutation helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.networks import (
+    bit_of,
+    inverse_shuffle,
+    log2_exact,
+    perfect_shuffle,
+    with_bit,
+)
+
+
+class TestLog2Exact:
+    @pytest.mark.parametrize("value,expected", [(1, 0), (2, 1), (8, 3), (1024, 10)])
+    def test_powers_of_two(self, value, expected):
+        assert log2_exact(value) == expected
+
+    @pytest.mark.parametrize("bad", [0, -4, 3, 6, 12, 100])
+    def test_non_powers_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            log2_exact(bad)
+
+
+class TestShuffle:
+    def test_eight_line_shuffle(self):
+        # Stone: line x of N goes to 2x mod (N-1), N-1 fixed.
+        mapping = [perfect_shuffle(x, 3) for x in range(8)]
+        assert mapping == [0, 2, 4, 6, 1, 3, 5, 7]
+
+    def test_extremes_are_fixed_points(self):
+        for bits in (1, 2, 3, 4, 5):
+            size = 1 << bits
+            assert perfect_shuffle(0, bits) == 0
+            assert perfect_shuffle(size - 1, bits) == size - 1
+
+    @given(bits=st.integers(1, 10), data=st.data())
+    def test_shuffle_is_a_permutation(self, bits, data):
+        size = 1 << bits
+        mapped = {perfect_shuffle(x, bits) for x in range(size)}
+        assert mapped == set(range(size))
+
+    @given(bits=st.integers(1, 10), data=st.data())
+    def test_inverse_undoes_shuffle(self, bits, data):
+        address = data.draw(st.integers(0, (1 << bits) - 1))
+        assert inverse_shuffle(perfect_shuffle(address, bits), bits) == address
+        assert perfect_shuffle(inverse_shuffle(address, bits), bits) == address
+
+    @given(bits=st.integers(2, 10), data=st.data())
+    def test_n_shuffles_restore_identity(self, bits, data):
+        address = data.draw(st.integers(0, (1 << bits) - 1))
+        value = address
+        for _ in range(bits):
+            value = perfect_shuffle(value, bits)
+        assert value == address
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            perfect_shuffle(8, 3)
+        with pytest.raises(ValueError):
+            inverse_shuffle(-1, 3)
+
+
+class TestBitHelpers:
+    def test_bit_of(self):
+        assert bit_of(0b1010, 1) == 1
+        assert bit_of(0b1010, 0) == 0
+
+    def test_with_bit(self):
+        assert with_bit(0b1010, 0, 1) == 0b1011
+        assert with_bit(0b1010, 1, 0) == 0b1000
+        assert with_bit(0b1010, 3, 1) == 0b1010
+
+    def test_with_bit_validates(self):
+        with pytest.raises(ValueError):
+            with_bit(0, 0, 2)
+
+    @given(value=st.integers(0, 1023), position=st.integers(0, 9),
+           bit=st.integers(0, 1))
+    def test_with_bit_then_bit_of(self, value, position, bit):
+        assert bit_of(with_bit(value, position, bit), position) == bit

@@ -1,0 +1,170 @@
+"""Unit and property tests for the multistage topologies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.networks import (
+    BaselineTopology,
+    CubeTopology,
+    OmegaTopology,
+    make_topology,
+)
+
+TOPOLOGIES = [OmegaTopology, CubeTopology, BaselineTopology]
+SIZES = [2, 4, 8, 16]
+
+
+@pytest.fixture(params=TOPOLOGIES, ids=lambda cls: cls.__name__)
+def topology_class(request):
+    return request.param
+
+
+class TestStructure:
+    def test_stage_count(self, topology_class):
+        assert topology_class(8).stages == 3
+        assert topology_class(16).stages == 4
+
+    def test_non_power_of_two_rejected(self, topology_class):
+        with pytest.raises(ConfigurationError):
+            topology_class(6)
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_input_map_is_a_perfect_pairing(self, topology_class, size):
+        topology = topology_class(size)
+        for stage in range(topology.stages):
+            seen = {}
+            for link in range(size):
+                box, port = topology.input_map(stage, link)
+                assert 0 <= box < size // 2
+                assert port in (0, 1)
+                assert (box, port) not in seen.values()
+                seen[link] = (box, port)
+            assert len(set(seen.values())) == size
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_output_links_distinct(self, topology_class, size):
+        topology = topology_class(size)
+        for stage in range(topology.stages):
+            outputs = {topology.output_link(stage, box, port)
+                       for box in range(size // 2) for port in (0, 1)}
+            assert outputs == set(range(size))
+
+    def test_box_links_consistent_with_input_map(self, topology_class):
+        topology = topology_class(8)
+        for stage in range(topology.stages):
+            for box in range(4):
+                upper, lower = topology.box_links(stage, box)
+                assert topology.input_map(stage, upper) == (box, 0)
+                assert topology.input_map(stage, lower) == (box, 1)
+
+
+class TestTagRouting:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_every_pair_reaches_destination(self, topology_class, size):
+        topology = topology_class(size)
+        for source in range(size):
+            for destination in range(size):
+                path = topology.route_by_tag(source, destination)
+                assert path[0] == (0, source)
+                assert path[-1] == (topology.stages, destination)
+                assert len(path) == topology.stages + 1
+
+    def test_path_boxes_length(self, topology_class):
+        topology = topology_class(16)
+        assert len(topology.path_boxes(3, 9)) == 4
+
+    def test_a_full_permutation_is_conflict_free(self, topology_class):
+        """Every topology admits at least one full permutation: identity
+        for Omega/cube, bit reversal for the baseline network (its stage-0
+        boxes pair adjacent sources, so the identity self-conflicts)."""
+        topology = topology_class(8)
+        if topology_class is BaselineTopology:
+            permutation = [int(format(x, "03b")[::-1], 2) for x in range(8)]
+        else:
+            permutation = list(range(8))
+        pairs = list(enumerate(permutation))
+        assert not topology.paths_conflict(pairs)
+
+    def test_duplicate_destination_conflicts(self, topology_class):
+        topology = topology_class(8)
+        assert topology.paths_conflict([(0, 3), (1, 3)])
+
+    def test_out_of_range_rejected(self, topology_class):
+        topology = topology_class(8)
+        with pytest.raises(ConfigurationError):
+            topology.route_by_tag(8, 0)
+        with pytest.raises(ConfigurationError):
+            topology.route_by_tag(0, -1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_links_of_path_matches_route(self, data):
+        topology_class = data.draw(st.sampled_from(TOPOLOGIES))
+        size = data.draw(st.sampled_from(SIZES))
+        topology = topology_class(size)
+        source = data.draw(st.integers(0, size - 1))
+        destination = data.draw(st.integers(0, size - 1))
+        assert topology.links_of_path(source, destination) == frozenset(
+            topology.route_by_tag(source, destination))
+
+
+class TestOmegaSpecifics:
+    def test_msb_first_routing(self):
+        topology = OmegaTopology(8)
+        assert [topology.routing_bit(stage, 0b110) for stage in range(3)] == [1, 1, 0]
+
+    def test_shuffle_exchange_shape(self):
+        # Column-0 link 1 feeds box 1 input 0 after the shuffle (1 -> 2).
+        assert OmegaTopology(8).input_map(0, 1) == (1, 0)
+
+
+class TestCubeSpecifics:
+    def test_lsb_first_routing(self):
+        topology = CubeTopology(8)
+        assert [topology.routing_bit(stage, 0b110) for stage in range(3)] == [0, 1, 1]
+
+    def test_stage_pairs_links_differing_in_axis_bit(self):
+        topology = CubeTopology(8)
+        for stage in range(3):
+            for link in range(8):
+                box, port = topology.input_map(stage, link)
+                partner = link ^ (1 << stage)
+                partner_box, partner_port = topology.input_map(stage, partner)
+                assert box == partner_box
+                assert port != partner_port
+
+
+class TestBaselineSpecifics:
+    def test_msb_first_routing(self):
+        topology = BaselineTopology(8)
+        assert [topology.routing_bit(stage, 0b110) for stage in range(3)] == [1, 1, 0]
+
+    def test_stage_zero_pairs_adjacent_links(self):
+        topology = BaselineTopology(8)
+        assert topology.input_map(0, 0) == (0, 0)
+        assert topology.input_map(0, 1) == (0, 1)
+
+    def test_upper_output_feeds_top_half(self):
+        topology = BaselineTopology(8)
+        for box in range(4):
+            assert topology.output_link(0, box, 0) < 4
+            assert topology.output_link(0, box, 1) >= 4
+
+    def test_wiring_differs_from_omega_and_cube(self):
+        baseline = BaselineTopology(8)
+        for other in (OmegaTopology(8), CubeTopology(8)):
+            assert any(
+                baseline.input_map(stage, link) != other.input_map(stage, link)
+                for stage in range(3) for link in range(8))
+
+
+class TestFactory:
+    def test_factory_dispatch(self):
+        assert isinstance(make_topology("omega", 8), OmegaTopology)
+        assert isinstance(make_topology("CUBE", 8), CubeTopology)
+        assert isinstance(make_topology("baseline", 8), BaselineTopology)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_topology("BANYAN", 8)

@@ -1,0 +1,109 @@
+"""Tests for the multiple-resource-types extension (end of Section V).
+
+The paper: "control signal Q has to be augmented by the type of resource
+requested, and status signal S has to be sent for each type ... the number
+of resource-availability registers at each output port ... is increased so
+that there is one register for each type."
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.networks import (
+    ClockedMultistageScheduler,
+    InterchangeBox,
+    OmegaTopology,
+)
+from repro.networks.interchange import DEFAULT_TYPE
+
+
+def scheduler(free, size=8):
+    return ClockedMultistageScheduler(OmegaTopology(size), free)
+
+
+class TestTypedRegisters:
+    def test_box_keeps_one_register_per_type(self):
+        box = InterchangeBox(0, 0, resource_types=("fft", "sort"))
+        box.set_available(0, "fft", True)
+        assert box.is_available(0, "fft")
+        assert not box.is_available(0, "sort")
+        assert not box.is_available(1, "fft")
+
+    def test_status_is_per_type(self):
+        box = InterchangeBox(0, 0, resource_types=("fft", "sort"))
+        box.set_available(1, "sort", True)
+        assert box.status_for_input(0, lambda p: True, "sort")
+        assert not box.status_for_input(0, lambda p: True, "fft")
+
+
+class TestTypedScheduling:
+    def test_requests_find_their_own_type(self):
+        sched = scheduler({0: {"fft": 1}, 3: {"sort": 1}, 6: {"fft": 1}})
+        result = sched.run([(1, "fft"), (2, "sort"), (5, "fft")])
+        assert len(result.allocated) == 3
+        by_source = result.outcomes
+        assert by_source[2].port == 3          # the only sort port
+        assert {by_source[1].port, by_source[5].port} == {0, 6}
+
+    def test_wrong_type_blocks_even_with_free_resources(self):
+        sched = scheduler({0: {"fft": 3}})
+        result = sched.run([(4, "sort")])
+        assert result.outcomes[4].port is None
+
+    def test_mixed_types_on_one_port(self):
+        sched = scheduler({5: {"fft": 1, "sort": 1}})
+        result = sched.run([(0, "sort")])
+        assert result.outcomes[0].port == 5
+        # Only the sort unit was consumed.
+        assert sched.free_resources[5]["fft"] == 1
+        assert sched.free_resources[5]["sort"] == 0
+
+    def test_type_contention_allocates_min_of_supply(self):
+        sched = scheduler({2: {"fft": 1}})
+        result = sched.run([(0, "fft"), (1, "fft"), (4, "fft")])
+        assert len(result.allocated) == 1
+        assert result.allocated[0].port == 2
+
+    def test_untyped_api_unchanged(self):
+        """Plain integer requesters and counts keep working (DEFAULT_TYPE)."""
+        sched = scheduler({0: 1, 1: 1, 4: 1, 5: 1})
+        result = sched.run([0, 3, 4, 5])
+        assert result.average_hops == 3.5
+        assert all(o.resource_type == DEFAULT_TYPE
+                   for o in result.outcomes.values())
+
+    def test_typed_and_untyped_mix_rejected_gracefully(self):
+        """A typed request against untyped (DEFAULT_TYPE) resources blocks."""
+        sched = scheduler({0: 2})
+        result = sched.run([(3, "fft")])
+        assert result.outcomes[3].port is None
+
+    def test_negative_typed_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scheduler({0: {"fft": -1}})
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_allocations_respect_types(self, data):
+        size = 8
+        types = ("a", "b")
+        free = {}
+        for port in data.draw(st.sets(st.integers(0, size - 1), max_size=5)):
+            free[port] = {rtype: data.draw(st.integers(0, 2))
+                          for rtype in types}
+        requesters = []
+        for source in data.draw(st.sets(st.integers(0, size - 1), max_size=5)):
+            requesters.append((source, data.draw(st.sampled_from(types))))
+        sched = scheduler(free)
+        result = sched.run(requesters)
+        supply = {rtype: sum(v.get(rtype, 0) for v in free.values())
+                  for rtype in types}
+        for outcome in result.allocated:
+            # Allocated port must have offered that type.
+            assert free[outcome.port].get(outcome.resource_type, 0) >= 1
+        for rtype in types:
+            allocated = sum(1 for o in result.allocated
+                            if o.resource_type == rtype)
+            demanded = sum(1 for _s, t in requesters if t == rtype)
+            assert allocated <= min(supply[rtype], demanded)

@@ -1,0 +1,74 @@
+"""Tests for the M/G/1 queue (Pollaczek-Khinchine)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import UnstableSystemError
+from repro.queueing import (
+    mg1_metrics,
+    mg1_metrics_for_distribution,
+    mm1_metrics,
+)
+
+
+class TestPollaczekKhinchine:
+    def test_exponential_reduces_to_mm1(self):
+        pk = mg1_metrics(0.7, 1.0, service_cv2=1.0)
+        mm1 = mm1_metrics(0.7, 1.0)
+        assert pk.mean_waiting_time == pytest.approx(mm1.mean_waiting_time)
+        assert pk.mean_number_in_system == pytest.approx(
+            mm1.mean_number_in_system)
+
+    def test_deterministic_halves_the_wait(self):
+        deterministic = mg1_metrics(0.7, 1.0, service_cv2=0.0)
+        exponential = mg1_metrics(0.7, 1.0, service_cv2=1.0)
+        assert deterministic.mean_waiting_time == pytest.approx(
+            exponential.mean_waiting_time / 2.0)
+
+    def test_variability_monotone(self):
+        waits = [mg1_metrics(0.5, 1.0, cv2).mean_waiting_time
+                 for cv2 in (0.0, 1.0, 4.0)]
+        assert waits == sorted(waits)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(UnstableSystemError):
+            mg1_metrics(1.0, 1.0, 1.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            mg1_metrics(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            mg1_metrics(0.5, 1.0, -0.1)
+
+    @given(rho=st.floats(0.05, 0.9), cv2=st.floats(0.0, 8.0))
+    def test_littles_law(self, rho, cv2):
+        metrics = mg1_metrics(rho, 1.0, cv2)
+        assert metrics.mean_number_in_queue == pytest.approx(
+            metrics.arrival_rate * metrics.mean_waiting_time)
+
+
+class TestDistributionLookup:
+    def test_known_distributions(self):
+        for name in ("deterministic", "exponential", "hyperexponential"):
+            metrics = mg1_metrics_for_distribution(0.5, 1.0, name)
+            assert metrics.mean_waiting_time > 0
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            mg1_metrics_for_distribution(0.5, 1.0, "weibull")
+
+    def test_matches_simulated_private_bus(self):
+        """P-K predicts the simulator's private-bus wait under each
+        transmission law (single processor, plentiful resources: M/G/1
+        on the bus)."""
+        from repro.core import simulate
+        from repro.workload import Workload
+        for distribution in ("deterministic", "exponential", "hyperexponential"):
+            workload = Workload(arrival_rate=0.6, transmission_rate=1.0,
+                                service_rate=50.0,
+                                transmission_distribution=distribution)
+            result = simulate("4/4x1x1 SBUS/inf", workload,
+                              horizon=60_000.0, warmup=6_000.0, seed=9)
+            expected = mg1_metrics_for_distribution(0.6, 1.0, distribution)
+            assert result.mean_queueing_delay == pytest.approx(
+                expected.mean_waiting_time, rel=0.15)

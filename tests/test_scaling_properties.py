@@ -1,0 +1,73 @@
+"""Scaling properties of the distributed scheduler (Section V's claims)."""
+
+import pytest
+
+from repro.networks import ClockedMultistageScheduler, OmegaTopology
+
+
+class TestLogarithmicScheduling:
+    """'The resource scheduling overhead is therefore proportional to the
+    delay time in the network (O(log2 N)) and independent of the number of
+    requesting processors.'"""
+
+    @pytest.mark.parametrize("size", [4, 8, 16, 32, 64])
+    def test_uncontended_allocation_takes_stages_ticks(self, size):
+        scheduler = ClockedMultistageScheduler(OmegaTopology(size), {0: 1})
+        result = scheduler.run([size - 1])
+        outcome = result.outcomes[size - 1]
+        assert outcome.port == 0
+        assert outcome.hops == scheduler.topology.stages
+
+    @pytest.mark.parametrize("size", [8, 16, 32])
+    def test_ticks_independent_of_request_count(self, size):
+        """All N requests resolve in O(log N) ticks, not O(N)."""
+        scheduler = ClockedMultistageScheduler(
+            OmegaTopology(size), [1] * size)
+        result = scheduler.run(list(range(size)))
+        assert len(result.allocated) == size
+        # Ticks: the status wave (log N) plus the query wave (log N) plus
+        # bounded re-routing and the quiescence check — far below N.
+        assert result.ticks <= 4 * scheduler.topology.stages + 4
+
+    def test_full_load_ticks_grow_logarithmically(self):
+        ticks = {}
+        for size in (8, 16, 32, 64):
+            scheduler = ClockedMultistageScheduler(
+                OmegaTopology(size), [1] * size)
+            ticks[size] = scheduler.run(list(range(size))).ticks
+        # Doubling N adds O(1) stages, not O(N) ticks.
+        assert ticks[64] - ticks[8] <= 20
+        assert ticks[64] < 64  # decisively sub-linear
+
+    @pytest.mark.parametrize("size", [8, 16, 32])
+    def test_average_hops_near_stage_count_on_free_network(self, size):
+        """Re-routing is rare when every port is free: the mean number of
+        boxes traversed stays within one of log2 N (Fig. 11's metric)."""
+        scheduler = ClockedMultistageScheduler(
+            OmegaTopology(size), [1] * size)
+        result = scheduler.run(list(range(size)))
+        stages = scheduler.topology.stages
+        assert stages <= result.average_hops <= stages + 1.0
+
+
+class TestContendedScaling:
+    def test_heavier_contention_costs_bounded_reroutes(self):
+        """Half the ports free, all processors requesting: every
+        allocation still lands, with bounded extra hops."""
+        size = 16
+        scheduler = ClockedMultistageScheduler(
+            OmegaTopology(size), {port: 1 for port in range(0, size, 2)})
+        result = scheduler.run(list(range(size)))
+        assert len(result.allocated) == size // 2
+        for outcome in result.allocated:
+            assert outcome.hops <= 4 * scheduler.topology.stages
+
+    def test_blocked_requests_stop_trying_once_status_settles(self):
+        """Requests that cannot be satisfied retire after the status wave
+        reports no availability — no livelock, bounded attempts."""
+        scheduler = ClockedMultistageScheduler(OmegaTopology(8), {3: 1})
+        result = scheduler.run(list(range(8)), max_ticks=400)
+        assert result.ticks < 400
+        assert len(result.allocated) == 1
+        for outcome in result.blocked:
+            assert outcome.attempts <= 10

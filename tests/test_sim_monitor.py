@@ -1,0 +1,43 @@
+"""Unit tests for the trace monitor."""
+
+from repro.sim import Trace
+
+
+def test_disabled_by_default():
+    trace = Trace()
+    trace.record(1.0, "arrival", subject=7)
+    assert len(trace) == 0
+
+
+def test_records_when_enabled():
+    trace = Trace(enabled=True)
+    trace.record(1.0, "arrival", subject=7, queue=3)
+    trace.record(2.0, "departure", subject=7)
+    assert len(trace) == 2
+    first = list(trace)[0]
+    assert first.time == 1.0
+    assert first.kind == "arrival"
+    assert first.subject == 7
+    assert first.detail == {"queue": 3}
+
+
+def test_of_kind_filters():
+    trace = Trace(enabled=True)
+    trace.record(1.0, "a")
+    trace.record(2.0, "b")
+    trace.record(3.0, "a")
+    assert [r.time for r in trace.of_kind("a")] == [1.0, 3.0]
+
+
+def test_capacity_cap():
+    trace = Trace(enabled=True, capacity=2)
+    for i in range(5):
+        trace.record(float(i), "event")
+    assert len(trace) == 2
+
+
+def test_clear():
+    trace = Trace(enabled=True)
+    trace.record(1.0, "x")
+    trace.clear()
+    assert len(trace) == 0

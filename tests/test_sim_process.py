@@ -1,0 +1,141 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment
+
+
+def test_process_advances_through_timeouts():
+    env = Environment()
+    log = []
+
+    def worker():
+        log.append(("start", env.now))
+        yield env.timeout(2.0)
+        log.append(("middle", env.now))
+        yield env.timeout(3.0)
+        log.append(("end", env.now))
+
+    env.process(worker())
+    env.run()
+    assert log == [("start", 0.0), ("middle", 2.0), ("end", 5.0)]
+
+
+def test_process_receives_event_values():
+    env = Environment()
+    received = []
+
+    def worker():
+        value = yield env.timeout(1.0, value="hello")
+        received.append(value)
+
+    env.process(worker())
+    env.run()
+    assert received == ["hello"]
+
+
+def test_process_return_value_becomes_event_value():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(1.0)
+        return 99
+
+    process = env.process(worker())
+    assert env.run_until_event(process) == 99
+
+
+def test_process_can_wait_on_process():
+    env = Environment()
+    log = []
+
+    def child():
+        yield env.timeout(2.0)
+        return "child-result"
+
+    def parent():
+        result = yield env.process(child())
+        log.append((env.now, result))
+
+    env.process(parent())
+    env.run()
+    assert log == [(2.0, "child-result")]
+
+
+def test_failed_event_raises_inside_process():
+    env = Environment()
+    caught = []
+
+    def worker():
+        trigger = env.event()
+        env.timeout(1.0).add_callback(
+            lambda e: trigger.fail(ValueError("injected")))
+        try:
+            yield trigger
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(worker())
+    env.run()
+    assert caught == ["injected"]
+
+
+def test_unwaited_crashing_process_propagates():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(1.0)
+        raise RuntimeError("crash")
+
+    env.process(worker())
+    with pytest.raises(RuntimeError):
+        env.run()
+
+
+def test_waited_crashing_process_fails_its_event():
+    env = Environment()
+    outcome = []
+
+    def child():
+        yield env.timeout(1.0)
+        raise RuntimeError("crash")
+
+    def parent():
+        try:
+            yield env.process(child())
+        except RuntimeError:
+            outcome.append("saw failure")
+
+    env.process(parent())
+    env.run()
+    assert outcome == ["saw failure"]
+
+
+def test_yielding_non_event_is_an_error():
+    env = Environment()
+
+    def worker():
+        yield 42
+
+    env.process(worker())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_process_needs_a_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_is_alive_tracks_lifetime():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(5.0)
+
+    process = env.process(worker())
+    assert process.is_alive
+    env.run()
+    assert not process.is_alive

@@ -1,0 +1,73 @@
+"""Unit tests for reproducible random streams."""
+
+import pytest
+
+from repro.sim import RandomStreams
+
+
+def test_same_seed_same_sequence():
+    a = RandomStreams(seed=5)
+    b = RandomStreams(seed=5)
+    assert [a.stream("x").random() for _ in range(10)] == \
+        [b.stream("x").random() for _ in range(10)]
+
+
+def test_different_streams_are_independent():
+    streams = RandomStreams(seed=5)
+    first = [streams.stream("a").random() for _ in range(5)]
+    fresh = RandomStreams(seed=5)
+    _ = [fresh.stream("b").random() for _ in range(100)]  # consume another stream
+    second = [fresh.stream("a").random() for _ in range(5)]
+    assert first == second
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(seed=1).stream("x").random()
+    b = RandomStreams(seed=2).stream("x").random()
+    assert a != b
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(seed=0)
+    assert streams.stream("s") is streams.stream("s")
+
+
+def test_spawn_derives_stable_child():
+    first = RandomStreams(seed=3).spawn("child").stream("x").random()
+    second = RandomStreams(seed=3).spawn("child").stream("x").random()
+    assert first == second
+    parent_value = RandomStreams(seed=3).stream("x").random()
+    assert first != parent_value
+
+
+def test_exponential_mean_is_plausible():
+    streams = RandomStreams(seed=11)
+    samples = [streams.exponential("e", rate=2.0) for _ in range(20000)]
+    mean = sum(samples) / len(samples)
+    assert abs(mean - 0.5) < 0.02
+
+
+def test_exponential_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        RandomStreams().exponential("e", rate=0.0)
+
+
+def test_uniform_bounds():
+    streams = RandomStreams(seed=4)
+    for _ in range(100):
+        value = streams.uniform("u", 2.0, 3.0)
+        assert 2.0 <= value < 3.0
+
+
+def test_randint_bounds():
+    streams = RandomStreams(seed=4)
+    values = {streams.randint("i", 0, 3) for _ in range(200)}
+    assert values == {0, 1, 2, 3}
+
+
+def test_choice_and_shuffle_are_deterministic():
+    a = RandomStreams(seed=9)
+    b = RandomStreams(seed=9)
+    items = list(range(20))
+    assert a.shuffle("s", list(items)) == b.shuffle("s", list(items))
+    assert a.choice("c", items) == b.choice("c", items)
