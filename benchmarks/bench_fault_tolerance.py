@@ -1,0 +1,101 @@
+"""Fault tolerance: zero-fault reproduction and degraded-capacity accuracy.
+
+Two families of claims:
+
+* attaching a fault configuration whose models never fire (``mttf = inf``)
+  reproduces the healthy seed simulation bit-for-bit on the Fig. 4 / 7 / 12
+  configurations — the fault machinery is pay-for-what-you-use;
+* with resource faults active, the simulated throughput tracks the
+  availability-weighted (k of m*r resources up) analytical model within 5%
+  at light load, and observed component MTTF/MTTR track the configured
+  fault model.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import workload_at
+from repro.analysis.degraded import degraded_system_metrics
+from repro.config import SystemConfig
+from repro.core import simulate
+from repro.faults import (
+    CellFault,
+    FaultConfig,
+    InterchangeFault,
+    ResourceFault,
+    RetryPolicy,
+)
+from repro.workload import Workload
+
+#: The representative configuration of each delay figure's network class,
+#: with the idle fault model that must not perturb it.
+SEED_CONFIGS = [
+    ("fig4", "16/2x1x1 SBUS/8", ResourceFault),
+    ("fig7", "16/1x16x32 XBAR/1", CellFault),
+    ("fig12", "16/1x16x16 OMEGA/2", InterchangeFault),
+]
+
+LIGHT_RHO = 0.3
+HORIZON = 6_000.0
+WARMUP = 600.0
+
+
+def _healthy_and_idle_fault_pair(triplet, fault_class):
+    config = SystemConfig.parse(triplet)
+    workload = workload_at(LIGHT_RHO, 0.1, processors=config.processors)
+    healthy = simulate(config, workload, horizon=HORIZON, warmup=WARMUP,
+                       seed=42)
+    idle = config.with_faults(FaultConfig(
+        models=(fault_class(mttf=math.inf, mttr=1.0),),
+        retry=RetryPolicy(max_retries=3)))
+    shadow = simulate(idle, workload, horizon=HORIZON, warmup=WARMUP, seed=42)
+    return healthy, shadow
+
+
+@pytest.mark.parametrize("figure,triplet,fault_class", SEED_CONFIGS)
+def test_zero_fault_rate_reproduces_seed(once, figure, triplet, fault_class):
+    healthy, shadow = once(_healthy_and_idle_fault_pair, triplet, fault_class)
+    print(f"\n{figure} {triplet}: healthy {healthy}")
+    assert shadow == healthy
+    assert shadow.severed_transmissions == 0
+    assert shadow.abandoned_tasks == 0
+    assert shadow.availability is not None
+    assert shadow.availability.total_failures == 0
+
+
+def _degraded_run(triplet, mttf, mttr):
+    workload = Workload(arrival_rate=0.05, transmission_rate=20.0,
+                        service_rate=0.1)
+    config = SystemConfig.parse(triplet).with_faults(FaultConfig(
+        models=(ResourceFault(mttf=mttf, mttr=mttr),),
+        retry=RetryPolicy(max_retries=10)))
+    prediction = degraded_system_metrics(config, workload)
+    result = simulate(config, workload, horizon=80_000.0, warmup=5_000.0,
+                      seed=5)
+    return prediction, result
+
+
+@pytest.mark.parametrize("triplet,mttf,mttr", [
+    ("8/8x1x1 SBUS/4", 900.0, 100.0),
+    ("8/1x1x1 SBUS/16", 500.0, 125.0),
+])
+def test_light_load_throughput_matches_degraded_model(once, triplet,
+                                                      mttf, mttr):
+    """Simulated throughput under faults within 5% of the k-of-m model."""
+    prediction, result = once(_degraded_run, triplet, mttf, mttr)
+    print(f"\n{triplet}: predicted {prediction.throughput:.4f}, "
+          f"simulated {result.throughput:.4f} "
+          f"(A = {prediction.availability:.3f})")
+    assert result.availability.total_failures > 0
+    assert result.throughput == pytest.approx(prediction.throughput, rel=0.05)
+
+
+def test_observed_fault_process_matches_model(once):
+    """Measured MTTF/MTTR of injected faults track the configured model."""
+    prediction, result = once(_degraded_run, "8/1x1x1 SBUS/16", 500.0, 125.0)
+    report = result.availability
+    assert report.observed_mttf("resource") == pytest.approx(500.0, rel=0.25)
+    assert report.observed_mttr("resource") == pytest.approx(125.0, rel=0.25)
+    capacity = report.time_weighted_capacity("resource")
+    assert capacity == pytest.approx(prediction.availability, abs=0.05)

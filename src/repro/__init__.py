@@ -31,9 +31,12 @@ Sub-packages: :mod:`repro.sim` (event kernel), :mod:`repro.queueing`,
 from repro.analysis import (
     CostModel,
     CostRegime,
+    DegradedMetrics,
     NetworkClass,
     blocking_comparison,
     crossover_intensity,
+    degraded_metrics,
+    degraded_system_metrics,
     qualitative_recommendation,
     recommend,
     saturation_intensity,
@@ -52,10 +55,22 @@ from repro.core import (
 from repro.errors import (
     AnalysisError,
     ConfigurationError,
+    FaultInjectionError,
     ReproError,
+    RetryExhaustedError,
     SchedulingError,
     SimulationError,
     UnstableSystemError,
+)
+from repro.faults import (
+    BusFault,
+    CellFault,
+    FaultConfig,
+    FaultInjector,
+    FaultSchedule,
+    InterchangeFault,
+    ResourceFault,
+    RetryPolicy,
 )
 from repro.experiments import figure_series, run_experiment
 from repro.markov import SbusChain, SbusSolution, solve_sbus
@@ -91,6 +106,8 @@ __all__ = [
     "SchedulingError",
     "AnalysisError",
     "UnstableSystemError",
+    "FaultInjectionError",
+    "RetryExhaustedError",
     # analysis
     "solve_sbus",
     "SbusChain",
@@ -106,6 +123,18 @@ __all__ = [
     "NetworkClass",
     "recommend",
     "qualitative_recommendation",
+    "DegradedMetrics",
+    "degraded_metrics",
+    "degraded_system_metrics",
+    # faults
+    "FaultConfig",
+    "FaultSchedule",
+    "ResourceFault",
+    "BusFault",
+    "CellFault",
+    "InterchangeFault",
+    "RetryPolicy",
+    "FaultInjector",
     # system simulation
     "RsinSystem",
     "simulate",

@@ -7,7 +7,9 @@ Commands:
 * ``simulate``   — run one configuration at a load point;
 * ``solve``      — exact Markov-chain analysis of a shared bus;
 * ``recommend``  — the Table II advisor over the standard candidates;
-* ``blocking``   — the Section V blocking comparison.
+* ``blocking``   — the Section V blocking comparison;
+* ``faults``     — fault-injected run with availability report and the
+  degraded-capacity prediction.
 """
 
 from __future__ import annotations
@@ -70,6 +72,26 @@ def build_parser() -> argparse.ArgumentParser:
         "blocking", help="Section V blocking comparison")
     blocking.add_argument("--size", type=int, default=8)
     blocking.add_argument("--trials", type=int, default=200)
+
+    faults = commands.add_parser(
+        "faults", help="fault-injected simulation with availability report")
+    faults.add_argument("config", help="triplet, e.g. '16/1x16x16 OMEGA/2'")
+    faults.add_argument("--kind", default="resource",
+                        choices=["resource", "bus", "cell", "interchange"],
+                        help="component class to fail")
+    faults.add_argument("--mttf", type=float, default=1000.0,
+                        help="mean time to failure per component")
+    faults.add_argument("--mttr", type=float, default=100.0,
+                        help="mean time to repair per component")
+    faults.add_argument("--rho", type=float, default=0.5,
+                        help="traffic intensity on the paper's axis")
+    faults.add_argument("--ratio", type=float, default=0.1,
+                        help="mu_s / mu_n")
+    faults.add_argument("--max-retries", type=int, default=5)
+    faults.add_argument("--task-timeout", type=float, default=None,
+                        help="abandon queued tasks older than this")
+    faults.add_argument("--horizon", type=float, default=30_000.0)
+    faults.add_argument("--seed", type=int, default=1)
     return parser
 
 
@@ -150,6 +172,44 @@ def _command_blocking(args) -> int:
     return 0
 
 
+def _command_faults(args) -> int:
+    import math
+
+    from repro.analysis import workload_at
+    from repro.analysis.degraded import degraded_system_metrics
+    from repro.config import SystemConfig
+    from repro.core import simulate
+    from repro.faults import MODEL_CLASSES, FaultConfig, RetryPolicy
+
+    model = MODEL_CLASSES[args.kind](mttf=args.mttf, mttr=args.mttr)
+    retry = RetryPolicy(
+        max_retries=args.max_retries,
+        task_timeout=(math.inf if args.task_timeout is None
+                      else args.task_timeout))
+    config = SystemConfig.parse(args.config).with_faults(
+        FaultConfig(models=(model,), retry=retry))
+    workload = workload_at(args.rho, args.ratio, processors=config.processors)
+    result = simulate(config, workload, horizon=args.horizon,
+                      warmup=args.horizon * 0.1, seed=args.seed)
+    report = result.availability
+    print(f"configuration    : {config}")
+    print(f"fault model      : {args.kind} mttf={args.mttf} mttr={args.mttr} "
+          f"(A = {model.availability:.4f})")
+    print(f"result           : {result}")
+    print(f"throughput       : {result.throughput:.4f} tasks/time")
+    print(f"failures         : {report.total_failures} "
+          f"(downtime {report.total_downtime:.1f})")
+    print(f"observed mttf    : {report.observed_mttf(args.kind):.1f}")
+    print(f"observed mttr    : {report.observed_mttr(args.kind):.1f}")
+    print(f"capacity offered : {report.time_weighted_capacity():.4f}")
+    if args.kind == "resource":
+        prediction = degraded_system_metrics(config, workload)
+        print(f"degraded model   : throughput {prediction.throughput:.4f}, "
+              f"E[resources up] {prediction.expected_resources_up:.2f}, "
+              f"P(port saturated) {prediction.saturated_probability:.3g}")
+    return 0
+
+
 _COMMANDS = {
     "list": _command_list,
     "experiment": _command_experiment,
@@ -157,6 +217,7 @@ _COMMANDS = {
     "solve": _command_solve,
     "recommend": _command_recommend,
     "blocking": _command_blocking,
+    "faults": _command_faults,
 }
 
 

@@ -28,10 +28,13 @@ from __future__ import annotations
 
 import math
 import re
-from dataclasses import dataclass
-from typing import Union
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.models import FaultConfig
 
 #: Network type tokens accepted by the grammar.
 NETWORK_TYPES = ("SBUS", "XBAR", "OMEGA", "CUBE", "BASELINE")
@@ -59,6 +62,11 @@ class SystemConfig:
 
     Attributes mirror the paper's triplet; ``resources_per_port`` may be
     ``math.inf`` to model the private-bus limit with unbounded resources.
+
+    ``faults`` optionally attaches a :class:`repro.faults.FaultConfig`
+    (fault models, retry policy, explicit schedule); the triplet grammar
+    never sets it — use :meth:`with_faults`.  It is excluded from the
+    triplet rendering of :meth:`__str__`.
     """
 
     processors: int
@@ -67,6 +75,7 @@ class SystemConfig:
     outputs_per_network: int
     network_type: str
     resources_per_port: Union[int, float]
+    faults: Optional["FaultConfig"] = field(default=None)
 
     def __post_init__(self) -> None:
         p, i, j, k = (self.processors, self.num_networks,
@@ -114,6 +123,15 @@ class SystemConfig:
             raise ConfigurationError(
                 "infinite resources per port are only modelled for SBUS systems"
             )
+        if self.faults is not None:
+            from repro.faults.models import FaultConfig
+            if not isinstance(self.faults, FaultConfig):
+                raise ConfigurationError(
+                    f"faults must be a FaultConfig, got {self.faults!r}")
+            if (r == math.inf
+                    and self.faults.model_for("resource") is not None):
+                raise ConfigurationError(
+                    "resource faults need a finite resource count per port")
 
     # -- derived quantities ------------------------------------------------
     @property
@@ -135,6 +153,11 @@ class SystemConfig:
     def is_private_bus(self) -> bool:
         """True when every processor owns its bus (the i == p SBUS case)."""
         return self.network_type == "SBUS" and self.num_networks == self.processors
+
+    # -- fault configuration ------------------------------------------------
+    def with_faults(self, faults: Optional["FaultConfig"]) -> "SystemConfig":
+        """A copy of this configuration with ``faults`` attached (or cleared)."""
+        return replace(self, faults=faults)
 
     # -- formatting ----------------------------------------------------------
     def __str__(self) -> str:

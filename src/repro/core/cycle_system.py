@@ -187,6 +187,7 @@ class CycleAccurateCrossbarSystem:
             total_buses=self.config.outputs_per_network,
             total_resources=self.config.total_resources,
             blocking_fraction=0.0,
+            measurement_start=warmup,
         )
 
 

@@ -1,10 +1,16 @@
-"""Measurement plumbing for the RSIN system simulator."""
+"""Measurement plumbing for the RSIN system simulator.
+
+Besides the paper's observables (delay, utilization, blocking) this module
+carries the availability metrics of the fault-injection subsystem: observed
+MTTF/MTTR per component class, per-component downtime, and time-weighted
+capacity (fraction of component-time the system's components were up).
+"""
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.sim.stats import BatchMeans, TallyStat, TimeWeightedStat
 
@@ -22,6 +28,9 @@ class MetricsCollector:
         self.busy_resources = TimeWeightedStat(name="busy resources")
         self.completed_tasks = 0
         self.generated_tasks = 0
+        self.severed_transmissions = 0
+        self.retried_tasks = 0
+        self.abandoned_tasks = 0
 
     # -- event hooks -------------------------------------------------------
     def task_generated(self, now: float) -> None:
@@ -29,10 +38,16 @@ class MetricsCollector:
         self.generated_tasks += 1
         self.queue_length.add(1.0, now)
 
-    def transmission_started(self, now: float, waited: float) -> None:
-        """A queued task acquired a connection."""
-        self.queueing_delay.record(waited)
-        self.delay_batches.record(waited)
+    def transmission_started(self, now: float, waited: Optional[float]) -> None:
+        """A queued task acquired a connection.
+
+        ``waited`` is None on a retry re-dispatch: the task's queueing delay
+        was already sampled at its first dispatch, so only the occupancy
+        statistics move.
+        """
+        if waited is not None:
+            self.queueing_delay.record(waited)
+            self.delay_batches.record(waited)
         self.queue_length.add(-1.0, now)
         self.busy_buses.add(1.0, now)
 
@@ -40,6 +55,22 @@ class MetricsCollector:
         """A task finished holding the bus; its resource starts serving."""
         self.busy_buses.add(-1.0, now)
         self.busy_resources.add(1.0, now)
+
+    def transmission_severed(self, now: float) -> None:
+        """A fault cut an in-flight transmission; the bus went idle."""
+        self.severed_transmissions += 1
+        self.busy_buses.add(-1.0, now)
+
+    def task_retried(self, now: float) -> None:
+        """A severed task rejoined its processor queue after backoff."""
+        self.retried_tasks += 1
+        self.queue_length.add(1.0, now)
+
+    def task_abandoned(self, now: float, queued: bool) -> None:
+        """A task gave up (retry budget spent, or queue-age timeout)."""
+        self.abandoned_tasks += 1
+        if queued:
+            self.queue_length.add(-1.0, now)
 
     def service_finished(self, now: float, response_time: float) -> None:
         """A resource finished a task."""
@@ -57,11 +88,107 @@ class MetricsCollector:
         self.busy_resources.reset(now)
         self.completed_tasks = 0
         self.generated_tasks = 0
+        self.severed_transmissions = 0
+        self.retried_tasks = 0
+        self.abandoned_tasks = 0
+
+
+@dataclass(frozen=True)
+class ComponentAvailability:
+    """Observed availability of one component instance over a run."""
+
+    kind: str
+    component: Tuple
+    failures: int
+    repairs: int
+    downtime: float
+    duration: float
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the run this component was up."""
+        if self.duration <= 0:
+            return 1.0
+        return 1.0 - self.downtime / self.duration
+
+    @property
+    def observed_mttr(self) -> float:
+        """Mean observed repair time (NaN with no completed repairs)."""
+        if self.repairs == 0:
+            return math.nan
+        return self.downtime / self.repairs
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Fleet-wide availability summary of one fault-injected run.
+
+    Measured over the full run ``[0, duration]`` (warm-up included — a
+    component's physical health does not restart with the statistics).
+    """
+
+    duration: float
+    components: Tuple[ComponentAvailability, ...] = ()
+
+    @property
+    def total_failures(self) -> int:
+        return sum(c.failures for c in self.components)
+
+    @property
+    def total_downtime(self) -> float:
+        return sum(c.downtime for c in self.components)
+
+    def of_kind(self, kind: str) -> List[ComponentAvailability]:
+        """Per-component records of one kind."""
+        return [c for c in self.components if c.kind == kind]
+
+    def observed_mttf(self, kind: str) -> float:
+        """Mean observed up-time between failures for ``kind`` components.
+
+        Total up-time across the kind's instances divided by the number of
+        failures; NaN when nothing of that kind ever failed.
+        """
+        records = self.of_kind(kind)
+        failures = sum(c.failures for c in records)
+        if failures == 0:
+            return math.nan
+        uptime = sum(c.duration - c.downtime for c in records)
+        return uptime / failures
+
+    def observed_mttr(self, kind: str) -> float:
+        """Mean observed down-time per repair for ``kind`` components."""
+        records = self.of_kind(kind)
+        repairs = sum(c.repairs for c in records)
+        if repairs == 0:
+            return math.nan
+        return sum(c.downtime for c in records) / repairs
+
+    def time_weighted_capacity(self, kind: Optional[str] = None) -> float:
+        """Fraction of component-time up (capacity actually offered).
+
+        Restricted to one component ``kind`` when given; 1.0 for an empty
+        fleet (nothing to lose).
+        """
+        records = self.components if kind is None else self.of_kind(kind)
+        total = sum(c.duration for c in records)
+        if total <= 0:
+            return 1.0
+        return 1.0 - sum(c.downtime for c in records) / total
+
+    def downtime_by_component(self) -> Dict[Tuple[str, Tuple], float]:
+        """Map ``(kind, component)`` to its total downtime."""
+        return {(c.kind, c.component): c.downtime for c in self.components}
 
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Summary of one simulation run (after warm-up truncation)."""
+    """Summary of one simulation run (after warm-up truncation).
+
+    The fault-tolerance fields are zero / None on a healthy run; the
+    ``availability`` report is excluded from equality so that a run with a
+    zero-rate fault configuration compares equal to the fault-free run it
+    reproduces bit-for-bit.
+    """
 
     mean_queueing_delay: float
     delay_ci_halfwidth: float
@@ -73,9 +200,23 @@ class SimulationResult:
     network_blocking_fraction: float
     completed_tasks: int
     simulated_time: float
+    measurement_start: float = 0.0
+    severed_transmissions: int = 0
+    retried_tasks: int = 0
+    abandoned_tasks: int = 0
+    availability: Optional[AvailabilityReport] = field(default=None,
+                                                       compare=False)
+
+    @property
+    def throughput(self) -> float:
+        """Completed tasks per unit measured time (warm-up excluded)."""
+        span = self.simulated_time - self.measurement_start
+        if span <= 0:
+            return 0.0
+        return self.completed_tasks / span
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"d={self.mean_queueing_delay:.4f} (+/-{self.delay_ci_halfwidth:.4f}), "
             f"mu_s*d={self.normalized_delay:.4f}, "
             f"rho_bus={self.bus_utilization:.3f}, "
@@ -83,10 +224,17 @@ class SimulationResult:
             f"blocked={self.network_blocking_fraction:.3f}, "
             f"n={self.completed_tasks}"
         )
+        if self.severed_transmissions or self.abandoned_tasks or self.retried_tasks:
+            text += (f", severed={self.severed_transmissions}"
+                     f", retried={self.retried_tasks}"
+                     f", abandoned={self.abandoned_tasks}")
+        return text
 
 
 def summarize(collector: MetricsCollector, now: float, total_buses: int,
-              total_resources: float, blocking_fraction: float) -> SimulationResult:
+              total_resources: float, blocking_fraction: float,
+              measurement_start: float = 0.0,
+              availability: Optional[AvailabilityReport] = None) -> SimulationResult:
     """Fold a collector into an immutable result."""
     half_width, _mean = collector.delay_batches.interval()
     busy_bus_average = collector.busy_buses.time_average(now)
@@ -105,4 +253,9 @@ def summarize(collector: MetricsCollector, now: float, total_buses: int,
         network_blocking_fraction=blocking_fraction,
         completed_tasks=collector.completed_tasks,
         simulated_time=now,
+        measurement_start=measurement_start,
+        severed_transmissions=collector.severed_transmissions,
+        retried_tasks=collector.retried_tasks,
+        abandoned_tasks=collector.abandoned_tasks,
+        availability=availability,
     )

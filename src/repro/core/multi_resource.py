@@ -276,6 +276,7 @@ class MultiResourceSystem:
             total_buses=self.config.processors,
             total_resources=self.config.total_resources,
             blocking_fraction=0.0,
+            measurement_start=warmup,
         )
 
 

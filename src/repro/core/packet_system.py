@@ -231,6 +231,7 @@ class PacketSwitchedSystem:
             total_buses=self.config.total_ports,
             total_resources=self.config.total_resources,
             blocking_fraction=0.0,   # packets queue instead of blocking
+            measurement_start=warmup,
         )
 
 

@@ -18,6 +18,17 @@ arbiter).
 
 Partitions (``i`` independent RSINs) are fully independent: each has its
 own fabric and ports, and processors are assigned contiguously.
+
+Fault tolerance (``config.faults``): a
+:class:`~repro.faults.injector.FaultInjector` marks buses, resources, and
+fabric components down and up mid-run through the ``fail_*`` / ``repair_*``
+hooks below.  A failure severs any in-flight transmission through the dead
+component: the circuit is torn down, the bus freed, and the task re-enters
+its processor after an exponential-backoff delay (``FaultConfig.retry``).
+Tasks whose retry budget is spent, or which age past the per-processor
+queue timeout, are abandoned and surface in
+:attr:`SimulationResult.abandoned_tasks`.  With no fault configuration
+every code path below reduces to the healthy paper model, event for event.
 """
 
 from __future__ import annotations
@@ -25,10 +36,15 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Union
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from repro.config import SystemConfig
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import (
+    ConfigurationError,
+    FaultInjectionError,
+    RetryExhaustedError,
+    SimulationError,
+)
 from repro.networks.base import Connection, NetworkFabric, SingleBusFabric
 from repro.networks.crossbar import CrossbarFabric
 from repro.networks.omega import MultistageFabric
@@ -36,6 +52,7 @@ from repro.networks.topology import make_topology
 from repro.core.metrics import MetricsCollector, SimulationResult, summarize
 from repro.core.task import Task
 from repro.sim.environment import Environment
+from repro.sim.events import Event
 from repro.sim.rng import RandomStreams
 from repro.workload.arrivals import Workload
 
@@ -61,18 +78,28 @@ def build_fabric(config: SystemConfig, partition: int,
 
 @dataclass
 class _Port:
-    """One output port: a bus with ``r`` resources hanging on it."""
+    """One output port: a bus with ``r`` resources hanging on it.
+
+    ``failed`` marks the bus itself down; ``failed_resources`` counts
+    resources currently out of the pool, and ``pending_resource_failures``
+    holds fail-stop notices for resources that were busy when their failure
+    arrived (they finish the task in hand, then leave the pool).
+    """
 
     partition: int
     index: int
     resources: Union[int, float]
     bus_busy: bool = False
     busy_resources: int = 0
+    failed: bool = False
+    failed_resources: int = 0
+    pending_resource_failures: int = 0
 
     @property
     def can_accept(self) -> bool:
         """Bus free and at least one resource free (may start a transmission)."""
-        return not self.bus_busy and self.busy_resources < self.resources
+        return (not self.failed and not self.bus_busy
+                and self.busy_resources + self.failed_resources < self.resources)
 
 
 class _Processor:
@@ -97,7 +124,8 @@ class RsinSystem:
     >>> result = system.run(horizon=2000.0, warmup=200.0)
 
     The simulator is event-driven on the :mod:`repro.sim` kernel; a run is
-    reproducible given (config, workload, seed, arbitration).
+    reproducible given (config, workload, seed, arbitration) — including
+    the fault schedule, which draws from its own named random streams.
     """
 
     def __init__(self, config: SystemConfig, workload: Workload, seed: int = 0,
@@ -132,7 +160,14 @@ class RsinSystem:
         ]
         self._task_counter = 0
         self._connections: Dict[int, Connection] = {}
+        self._transmission_timers: Dict[int, Event] = {}
         self._started = False
+        self._retry = None
+        self._injector = None
+        if config.faults is not None:
+            from repro.faults.injector import FaultInjector
+            self._retry = config.faults.retry
+            self._injector = FaultInjector(self, config.faults)
         from repro.sim.stats import TallyStat
         #: Per-processor queueing-delay tallies (fairness analysis).
         self.processor_delays = [TallyStat(f"delay-p{p}")
@@ -158,7 +193,22 @@ class RsinSystem:
     def _candidate_ports(self, partition: int) -> List[int]:
         return [port.index for port in self.ports[partition] if port.can_accept]
 
+    def _expire_queue(self, processor: _Processor) -> None:
+        """Abandon queued tasks that aged past the per-processor timeout."""
+        if self._retry is None or self._retry.task_timeout == math.inf:
+            return
+        now = self.env.now
+        kept: Deque[Task] = deque()
+        for task in processor.queue:
+            if self._retry.expired(now - task.created):
+                task.abandoned = True
+                self.metrics.task_abandoned(now, queued=True)
+            else:
+                kept.append(task)
+        processor.queue = kept
+
     def _try_dispatch(self, processor: _Processor) -> bool:
+        self._expire_queue(processor)
         if processor.transmitting is not None or not processor.queue:
             return False
         partition = processor.partition
@@ -179,16 +229,26 @@ class RsinSystem:
         task.port = partition * self.config.outputs_per_network + port.index
         task.network_hops = connection.hops
         self._connections[task.task_id] = connection
-        self.metrics.transmission_started(self.env.now, task.queueing_delay)
-        self.processor_delays[processor.index].record(task.queueing_delay)
+        # The queueing delay is sampled once per task, at its first dispatch;
+        # a retry re-dispatch only moves the occupancy statistics.
+        waited = task.queueing_delay if task.attempts == 0 else None
+        self.metrics.transmission_started(self.env.now, waited)
+        if waited is not None:
+            self.processor_delays[processor.index].record(waited)
         duration = self.workload.next_transmission(
             self.streams.stream(f"transmission-{partition}"))
         done = self.env.timeout(duration)
+        self._transmission_timers[task.task_id] = done
         done.add_callback(
-            lambda _event, t=task, pr=processor, po=port: self._end_transmission(t, pr, po))
+            lambda event, t=task, pr=processor, po=port:
+            self._end_transmission(event, t, pr, po))
         return True
 
-    def _end_transmission(self, task: Task, processor: _Processor, port: _Port) -> None:
+    def _end_transmission(self, event: Event, task: Task,
+                          processor: _Processor, port: _Port) -> None:
+        if self._transmission_timers.get(task.task_id) is not event:
+            return  # stale timer of a transmission severed by a fault
+        del self._transmission_timers[task.task_id]
         task.transmission_finished = self.env.now
         port.bus_busy = False
         port.busy_resources += 1
@@ -209,6 +269,11 @@ class RsinSystem:
         port.busy_resources -= 1
         if port.busy_resources < 0:
             raise SimulationError("negative busy resources (scheduler bug)")
+        if port.pending_resource_failures > 0:
+            # Fail-stop at the job boundary: the resource that just finished
+            # absorbs an outstanding failure instead of rejoining the pool.
+            port.pending_resource_failures -= 1
+            port.failed_resources += 1
         self.metrics.service_finished(self.env.now, task.response_time)
         self._broadcast_status(port.partition)
 
@@ -229,6 +294,127 @@ class RsinSystem:
         for processor in waiting:
             self._try_dispatch(processor)
 
+    # -- fault hooks ---------------------------------------------------------
+    def _partition_processors(self, partition: int) -> List[_Processor]:
+        per_network = self.config.processors_per_network
+        start = partition * per_network
+        return self.processors[start:start + per_network]
+
+    def fail_bus(self, partition: int, port_index: int) -> None:
+        """An output-port bus goes down, severing any transmission on it."""
+        port = self.ports[partition][port_index]
+        if port.failed:
+            raise FaultInjectionError(
+                f"bus ({partition}, {port_index}) is already down")
+        port.failed = True
+        if port.bus_busy:
+            task, processor = self._find_transmission(partition, port_index)
+            self._sever_transmission(task, processor, port,
+                                     fabric_released=False)
+
+    def repair_bus(self, partition: int, port_index: int) -> None:
+        """A failed bus comes back; blocked processors are re-offered it."""
+        port = self.ports[partition][port_index]
+        if not port.failed:
+            raise FaultInjectionError(
+                f"bus ({partition}, {port_index}) is not down")
+        port.failed = False
+        self._broadcast_status(partition)
+
+    def fail_resource(self, partition: int, port_index: int) -> None:
+        """One resource at a port fail-stops (deferred if currently busy)."""
+        port = self.ports[partition][port_index]
+        if port.busy_resources + port.failed_resources < port.resources:
+            port.failed_resources += 1
+        else:
+            port.pending_resource_failures += 1
+
+    def repair_resource(self, partition: int, port_index: int) -> None:
+        """One failed resource at a port rejoins the pool."""
+        port = self.ports[partition][port_index]
+        if port.pending_resource_failures > 0:
+            port.pending_resource_failures -= 1
+        elif port.failed_resources > 0:
+            port.failed_resources -= 1
+            self._broadcast_status(partition)
+        else:
+            raise FaultInjectionError(
+                f"no failed resource to repair at port "
+                f"({partition}, {port_index})")
+
+    def fail_fabric_component(self, partition: int, component: Tuple) -> None:
+        """An internal fabric component dies; circuits through it sever."""
+        fabric = self.fabrics[partition]
+        severed = fabric.fail_component(component)
+        for connection in severed:
+            task, processor = self._find_connection_task(partition, connection)
+            port = self.ports[partition][connection.output_port]
+            self._sever_transmission(task, processor, port,
+                                     fabric_released=True)
+
+    def repair_fabric_component(self, partition: int, component: Tuple) -> None:
+        """A fabric component comes back; blocked processors retry."""
+        self.fabrics[partition].repair_component(component)
+        self._broadcast_status(partition)
+
+    def _find_transmission(self, partition: int,
+                           port_index: int) -> Tuple[Task, _Processor]:
+        global_port = partition * self.config.outputs_per_network + port_index
+        for processor in self._partition_processors(partition):
+            task = processor.transmitting
+            if task is not None and task.port == global_port:
+                return task, processor
+        raise FaultInjectionError(
+            f"busy bus ({partition}, {port_index}) has no transmitting task "
+            "(scheduler bug)")
+
+    def _find_connection_task(self, partition: int,
+                              connection: Connection) -> Tuple[Task, _Processor]:
+        for processor in self._partition_processors(partition):
+            task = processor.transmitting
+            if (task is not None
+                    and self._connections.get(task.task_id) is connection):
+                return task, processor
+        raise FaultInjectionError(
+            "severed connection has no transmitting task (scheduler bug)")
+
+    # -- severing and retry ----------------------------------------------------
+    def _sever_transmission(self, task: Task, processor: _Processor,
+                            port: _Port, fabric_released: bool) -> None:
+        """Unwind an in-flight transmission cut by a fault."""
+        self._transmission_timers.pop(task.task_id, None)
+        connection = self._connections.pop(task.task_id)
+        if not fabric_released:
+            self.fabrics[processor.partition].release(connection)
+        port.bus_busy = False
+        processor.transmitting = None
+        task.attempts += 1
+        self.metrics.transmission_severed(self.env.now)
+        self._schedule_retry(task, processor)
+
+    def _schedule_retry(self, task: Task, processor: _Processor) -> None:
+        if self._retry is None:
+            # Faults injected by hand on a system without a fault config:
+            # retry immediately and indefinitely (legacy permissive mode).
+            self._requeue(task, processor)
+            return
+        try:
+            delay = self._retry.next_delay(
+                task.attempts, self.streams.stream(f"backoff-{task.processor}"))
+        except RetryExhaustedError:
+            task.abandoned = True
+            self.metrics.task_abandoned(self.env.now, queued=False)
+            return
+        timer = self.env.timeout(delay)
+        timer.add_callback(
+            lambda _event, t=task, pr=processor: self._requeue(t, pr))
+
+    def _requeue(self, task: Task, processor: _Processor) -> None:
+        """A severed task re-enters its processor queue (at the front)."""
+        processor.queue.appendleft(task)
+        self.metrics.task_retried(self.env.now)
+        self._try_dispatch(processor)
+
     # -- running -----------------------------------------------------------------
     def run(self, horizon: float, warmup: float = 0.0) -> SimulationResult:
         """Simulate up to ``horizon`` time units; discard ``warmup``.
@@ -241,6 +427,8 @@ class RsinSystem:
             raise ConfigurationError(
                 f"need 0 <= warmup < horizon, got warmup={warmup} horizon={horizon}")
         self._started = True
+        if self._injector is not None:
+            self._injector.install()
         for processor in self.processors:
             self._schedule_arrival(processor)
         if warmup > 0:
@@ -264,6 +452,9 @@ class RsinSystem:
             total_buses=self.config.total_ports,
             total_resources=total_resources,
             blocking_fraction=(blocked / attempts if attempts else 0.0),
+            measurement_start=warmup,
+            availability=(self._injector.report(self.env.now)
+                          if self._injector is not None else None),
         )
 
 

@@ -24,6 +24,8 @@ class Task:
     service_finished: Optional[float] = None
     port: Optional[int] = None          # global output-port index served on
     network_hops: int = 0               # switching elements traversed
+    attempts: int = 0                   # transmissions severed by faults so far
+    abandoned: bool = False             # dropped by the retry/timeout policy
 
     @property
     def queueing_delay(self) -> Optional[float]:

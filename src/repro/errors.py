@@ -3,6 +3,26 @@
 All exceptions raised by the library derive from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 letting programming errors (``TypeError`` et al.) propagate.
+
+The hierarchy::
+
+    ReproError
+    ├── ConfigurationError      invalid system / fault configuration
+    ├── SimulationError         event-kernel inconsistency or livelock guard
+    │   └── FaultInjectionError fault injected against an impossible target
+    ├── SchedulingError         network scheduler driven into impossible state
+    │   └── RetryExhaustedError a severed/blocked request ran out of retries
+    └── AnalysisError           queueing/Markov analysis impossible
+        └── UnstableSystemError offered load at or beyond capacity
+
+:class:`FaultInjectionError` is a :class:`SimulationError` because a bad
+injection (failing a component that does not exist, repairing one that is
+up) means the simulated world has become inconsistent, exactly like a
+corrupted event queue.  :class:`RetryExhaustedError` is a
+:class:`SchedulingError` because it is the scheduling layer's terminal
+verdict on one request: the retry policy refused to schedule another
+attempt.  The system simulator catches it and records the task as
+abandoned rather than letting it escape a run.
 """
 
 from __future__ import annotations
@@ -25,12 +45,40 @@ class SimulationError(ReproError):
     """The discrete-event simulation kernel detected an inconsistency."""
 
 
+class FaultInjectionError(SimulationError):
+    """A fault was injected against an impossible target.
+
+    Examples: failing a crossbar cell that does not exist, failing a
+    component that is already down, or repairing one that is already up.
+    """
+
+
 class SchedulingError(ReproError):
     """A network scheduler was driven into an impossible state.
 
     Examples: releasing a connection that was never established, or a
     request signal observed outside a request cycle.
     """
+
+
+class RetryExhaustedError(SchedulingError):
+    """A blocked or severed request exceeded its retry budget.
+
+    Raised by :meth:`repro.faults.RetryPolicy.next_delay` when asked for a
+    backoff delay beyond ``max_retries``; the system simulator translates it
+    into an abandoned task.
+    """
+
+    def __init__(self, attempts: int, max_retries: int,
+                 message: str | None = None):
+        self.attempts = attempts
+        self.max_retries = max_retries
+        if message is None:
+            message = (
+                f"request abandoned after {attempts} attempts "
+                f"(retry budget {max_retries})"
+            )
+        super().__init__(message)
 
 
 class AnalysisError(ReproError):

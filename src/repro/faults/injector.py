@@ -1,0 +1,216 @@
+"""The fault injector: drives component failure/repair processes.
+
+A :class:`FaultInjector` owns one alternating up/down renewal process per
+concrete component instance (every resource, every output-port bus, every
+crossbar cell, every interchange box named by the configured models), plus
+any explicit :class:`~repro.faults.models.FaultSchedule` transitions.  It
+is clocked by the system's :class:`~repro.sim.environment.Environment` and
+applies transitions through the system simulator's hooks:
+
+* ``fail_resource(partition, port)`` / ``repair_resource(partition, port)``
+* ``fail_bus(partition, port)`` / ``repair_bus(partition, port)``
+* ``fail_fabric_component(partition, component)`` /
+  ``repair_fabric_component(partition, component)``
+
+Each component draws from its own named random stream, so fault processes
+are reproducible and independent of the workload streams: the same seed
+with and without faults generates the same arrival/service sequences.
+
+The injector also keeps the availability ledger (down intervals per
+component) and folds it into an
+:class:`~repro.core.metrics.AvailabilityReport` at end of run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple, TYPE_CHECKING
+
+from repro.core.metrics import AvailabilityReport, ComponentAvailability
+from repro.errors import ConfigurationError, FaultInjectionError
+from repro.faults.models import FaultConfig, FaultModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.system import RsinSystem
+
+#: Fabric component tag per fault kind.
+_FABRIC_TAGS = {"cell": "cell", "interchange": "box"}
+
+
+class AvailabilityTracker:
+    """Down-interval ledger for every component the injector touches."""
+
+    def __init__(self) -> None:
+        self._failures: Dict[Tuple[str, Tuple], int] = {}
+        self._repairs: Dict[Tuple[str, Tuple], int] = {}
+        self._downtime: Dict[Tuple[str, Tuple], float] = {}
+        self._down_since: Dict[Tuple[str, Tuple], float] = {}
+
+    def register(self, kind: str, component: Tuple) -> None:
+        """Declare a component so it appears in the report even if healthy."""
+        key = (kind, component)
+        self._failures.setdefault(key, 0)
+        self._repairs.setdefault(key, 0)
+        self._downtime.setdefault(key, 0.0)
+
+    def went_down(self, kind: str, component: Tuple, now: float) -> None:
+        key = (kind, component)
+        self.register(kind, component)
+        if key in self._down_since:
+            raise FaultInjectionError(
+                f"{kind} component {component!r} went down twice")
+        self._failures[key] += 1
+        self._down_since[key] = now
+
+    def came_up(self, kind: str, component: Tuple, now: float) -> None:
+        key = (kind, component)
+        since = self._down_since.pop(key, None)
+        if since is None:
+            raise FaultInjectionError(
+                f"{kind} component {component!r} came up while up")
+        self._repairs[key] += 1
+        self._downtime[key] += now - since
+
+    def report(self, now: float) -> AvailabilityReport:
+        """Fold the ledger into a report, closing still-open outages."""
+        components: List[ComponentAvailability] = []
+        for (kind, component), failures in sorted(self._failures.items(),
+                                                  key=lambda item: repr(item[0])):
+            key = (kind, component)
+            downtime = self._downtime[key]
+            since = self._down_since.get(key)
+            if since is not None:
+                downtime += now - since
+            components.append(ComponentAvailability(
+                kind=kind, component=component, failures=failures,
+                repairs=self._repairs[key], downtime=downtime, duration=now))
+        return AvailabilityReport(duration=now, components=tuple(components))
+
+
+class FaultInjector:
+    """Schedules failures and repairs against one :class:`RsinSystem`."""
+
+    def __init__(self, system: "RsinSystem", faults: FaultConfig):
+        self.system = system
+        self.faults = faults
+        self.tracker = AvailabilityTracker()
+        self._instances: Dict[str, List[Tuple]] = {}
+        for model in faults.models:
+            self._instances[model.kind] = self._enumerate(model.kind)
+            for key in self._instances[model.kind]:
+                self.tracker.register(model.kind, key)
+        if faults.schedule is not None:
+            for event in faults.schedule.events:
+                key = self._normalize_component(event.kind, event.component)
+                self.tracker.register(event.kind, key)
+
+    # -- component enumeration ---------------------------------------------
+    def _enumerate(self, kind: str) -> List[Tuple]:
+        """All component instances of ``kind`` in the system."""
+        config = self.system.config
+        if kind == "resource":
+            if config.resources_per_port == math.inf:
+                raise ConfigurationError(
+                    "resource faults need a finite resource count per port")
+            return [(partition, port, slot)
+                    for partition in range(config.num_networks)
+                    for port in range(config.outputs_per_network)
+                    for slot in range(int(config.resources_per_port))]
+        if kind == "bus":
+            return [(partition, port)
+                    for partition in range(config.num_networks)
+                    for port in range(config.outputs_per_network)]
+        if kind in _FABRIC_TAGS:
+            instances = []
+            for partition, fabric in enumerate(self.system.fabrics):
+                for component in fabric.fault_components():
+                    if component[0] == _FABRIC_TAGS[kind]:
+                        instances.append((partition, component))
+            if not instances:
+                raise ConfigurationError(
+                    f"{kind!r} faults do not apply to "
+                    f"{config.network_type} fabrics")
+            return instances
+        raise ConfigurationError(f"unknown fault kind {kind!r}")
+
+    def _normalize_component(self, kind: str, component: Tuple) -> Tuple:
+        """Validate and normalize a schedule component to an instance key."""
+        if kind in _FABRIC_TAGS:
+            partition, ident = component
+            key = (partition, (_FABRIC_TAGS[kind], tuple(ident)))
+        else:
+            key = tuple(component)
+        known = self._instances.get(kind)
+        if known is None:
+            known = self._instances[kind] = self._enumerate(kind)
+        if key not in known:
+            raise ConfigurationError(
+                f"fault schedule names unknown {kind} component {component!r}")
+        return key
+
+    # -- lifecycle ----------------------------------------------------------
+    def install(self) -> None:
+        """Arm every configured fault process on the environment."""
+        env = self.system.env
+        for model in self.faults.models:
+            for key in self._instances[model.kind]:
+                self._arm(model, key)
+        if self.faults.schedule is not None:
+            for event in self.faults.schedule.events:
+                key = self._normalize_component(event.kind, event.component)
+                timer = env.timeout(event.time - env.now)
+                timer.add_callback(
+                    lambda _e, k=event.kind, c=key, a=event.action:
+                    self._apply(k, c, a))
+
+    def _arm(self, model: FaultModel, key: Tuple) -> None:
+        """Schedule the first failure of one component's renewal process."""
+        rng = self.system.streams.stream(f"fault-{model.kind}-{key}")
+        delay = model.next_failure(rng)
+        if delay == math.inf:
+            return
+        timer = self.system.env.timeout(delay)
+        timer.add_callback(lambda _e: self._stochastic_down(model, key, rng))
+
+    def _stochastic_down(self, model: FaultModel, key: Tuple, rng) -> None:
+        self._apply(model.kind, key, "down")
+        timer = self.system.env.timeout(model.next_repair(rng))
+        timer.add_callback(lambda _e: self._stochastic_up(model, key, rng))
+
+    def _stochastic_up(self, model: FaultModel, key: Tuple, rng) -> None:
+        self._apply(model.kind, key, "up")
+        delay = model.next_failure(rng)
+        if delay == math.inf:
+            return
+        timer = self.system.env.timeout(delay)
+        timer.add_callback(lambda _e: self._stochastic_down(model, key, rng))
+
+    # -- transition application ---------------------------------------------
+    def _apply(self, kind: str, key: Tuple, action: str) -> None:
+        now = self.system.env.now
+        if action == "down":
+            self.tracker.went_down(kind, key, now)
+        else:
+            self.tracker.came_up(kind, key, now)
+        if kind == "resource":
+            partition, port, _slot = key
+            if action == "down":
+                self.system.fail_resource(partition, port)
+            else:
+                self.system.repair_resource(partition, port)
+        elif kind == "bus":
+            partition, port = key
+            if action == "down":
+                self.system.fail_bus(partition, port)
+            else:
+                self.system.repair_bus(partition, port)
+        else:
+            partition, component = key
+            if action == "down":
+                self.system.fail_fabric_component(partition, component)
+            else:
+                self.system.repair_fabric_component(partition, component)
+
+    def report(self, now: float) -> AvailabilityReport:
+        """The availability summary up to ``now``."""
+        return self.tracker.report(now)

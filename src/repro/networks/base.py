@@ -14,6 +14,16 @@ fabric owns the *internal* state: links and switch settings.  The contract:
 Buses and crossbars never block internally; multistage networks can.  The
 distributed-scheduling behaviour (which of several eligible ports is chosen)
 lives in the fabric, reproducing each network's hardware algorithm.
+
+Fault injection extends the contract: a fabric exposes its internal
+components (:meth:`NetworkFabric.fault_components` — crossbar cells,
+interchange boxes; a bus fabric has none, its single bus being endpoint
+state) and the injector marks them down and up through
+:meth:`fail_component` / :meth:`repair_component`.  Failing a component
+severs every active circuit through it — the severed connections are
+returned so the system simulator can unwind the transmissions — and a
+failed component is invisible to :meth:`connect` until repaired, which on
+multistage fabrics makes requests reroute/backtrack around dead boxes.
 """
 
 from __future__ import annotations
@@ -22,7 +32,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import FrozenSet, Optional, Set, Tuple
 
-from repro.errors import ConfigurationError, SchedulingError
+from repro.errors import ConfigurationError, FaultInjectionError, SchedulingError
 
 
 @dataclass(frozen=True)
@@ -50,6 +60,7 @@ class NetworkFabric(ABC):
         self.inputs = inputs
         self.outputs = outputs
         self._active: Set[Connection] = set()
+        self._failed: Set[Tuple] = set()
         self.connect_attempts = 0
         self.connect_blocked = 0
 
@@ -84,6 +95,53 @@ class NetworkFabric(ABC):
         self._active.remove(connection)
         self._after_release(connection)
 
+    # -- fault injection -------------------------------------------------------
+    def fault_components(self) -> Tuple[Tuple, ...]:
+        """The internal components a fault can target (empty for buses)."""
+        return ()
+
+    @property
+    def failed_components(self) -> FrozenSet[Tuple]:
+        """Components currently marked down."""
+        return frozenset(self._failed)
+
+    def fail_component(self, component: Tuple) -> FrozenSet[Connection]:
+        """Mark ``component`` down; sever and return circuits through it.
+
+        The severed circuits are torn down inside the fabric (links freed)
+        before this returns — the caller owns unwinding the endpoint state
+        (bus, transmitting task) of each returned connection and must not
+        call :meth:`release` on them again.
+        """
+        self._check_component(component)
+        if component in self._failed:
+            raise FaultInjectionError(
+                f"component {component!r} is already down")
+        self._failed.add(component)
+        severed = frozenset(conn for conn in self._active
+                            if self._connection_uses(conn, component))
+        for connection in severed:
+            self._active.remove(connection)
+            self._after_release(connection)
+        return severed
+
+    def repair_component(self, component: Tuple) -> None:
+        """Mark ``component`` up again."""
+        self._check_component(component)
+        if component not in self._failed:
+            raise FaultInjectionError(
+                f"component {component!r} is not down")
+        self._failed.discard(component)
+
+    def _check_component(self, component: Tuple) -> None:
+        if component not in self.fault_components():
+            raise FaultInjectionError(
+                f"{type(self).__name__} has no component {component!r}")
+
+    def _connection_uses(self, connection: Connection, component: Tuple) -> bool:
+        """Whether ``connection``'s circuit passes through ``component``."""
+        return False
+
     # -- hooks ----------------------------------------------------------------
     @abstractmethod
     def _find_circuit(self, input_port: int, candidates) -> Optional[Connection]:
@@ -106,7 +164,9 @@ class SingleBusFabric(NetworkFabric):
 
     All contention is at the bus itself, which the system simulator models
     as the output-port bus; the fabric therefore never blocks internally
-    (an eligible candidate port implies a free bus).
+    (an eligible candidate port implies a free bus).  It also has no
+    internal fault components: the bus's own failures are endpoint (port)
+    faults owned by the system simulator.
     """
 
     def __init__(self, inputs: int):

@@ -7,12 +7,18 @@ request connects to, mirroring the hardware arbitration:
 * ``"priority"`` — the wavefront cells' asymmetric order (lowest port
   index wins; see :mod:`repro.networks.cells`);
 * ``"random"``  — the POLYP-style token scheme (uniform among eligible).
+
+Fault injection targets individual crosspoint cells: a failed cell
+``("cell", (i, j))`` makes output ``j`` unreachable from input ``i`` (the
+wavefront simply never sees an X-signal from a dead cell), and an active
+circuit through the cell is severed.  Other input/output pairs are
+untouched — the crossbar degrades per-crosspoint, not per-port.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.networks.base import Connection, NetworkFabric
@@ -32,8 +38,24 @@ class CrossbarFabric(NetworkFabric):
                 f"expected one of {ARBITRATION_POLICIES}")
         self.arbitration = arbitration
         self._rng = rng if rng is not None else random.Random(0)
+        self._components: Tuple[Tuple, ...] = tuple(
+            ("cell", (i, j))
+            for i in range(inputs) for j in range(outputs))
 
+    # -- fault injection -------------------------------------------------------
+    def fault_components(self) -> Tuple[Tuple, ...]:
+        return self._components
+
+    def _connection_uses(self, connection: Connection, component: Tuple) -> bool:
+        _kind, (i, j) = component
+        return connection.input_port == i and connection.output_port == j
+
+    # -- routing ---------------------------------------------------------------
     def _find_circuit(self, input_port: int, candidates) -> Optional[Connection]:
+        if self._failed:
+            candidates = frozenset(
+                port for port in candidates
+                if ("cell", (input_port, port)) not in self._failed)
         if not candidates:
             return None
         if self.arbitration == "priority":

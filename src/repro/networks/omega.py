@@ -42,7 +42,16 @@ from repro.networks.topology import Link, MultistageTopology
 
 
 class MultistageFabric(NetworkFabric):
-    """Circuit-switched multistage network with settled status information."""
+    """Circuit-switched multistage network with settled status information.
+
+    Fault injection targets interchange boxes: a failed box
+    ``("box", (stage, index))`` stops propagating status (its availability
+    registers read empty), so the distributed-backtracking search simply
+    routes requests around it wherever an alternative conflict-free path to
+    a candidate port exists — exactly the paper's reject/reroute mechanism
+    reacting to a box that never raises an S signal.  Circuits holding the
+    box when it fails are severed.
+    """
 
     def __init__(self, topology: MultistageTopology):
         super().__init__(inputs=topology.size, outputs=topology.size)
@@ -54,8 +63,25 @@ class MultistageFabric(NetworkFabric):
             [topology.input_map(stage, link) for link in range(topology.size)]
             for stage in range(topology.stages)
         ]
+        self._components: Tuple[Tuple, ...] = tuple(
+            ("box", (stage, index))
+            for stage in range(topology.stages)
+            for index in range(topology.boxes_per_stage))
+
+    # -- fault injection -------------------------------------------------------
+    def fault_components(self) -> Tuple[Tuple, ...]:
+        return self._components
+
+    def _connection_uses(self, connection, component) -> bool:
+        _kind, (stage, box) = component
+        for column, index in connection.links:
+            if column == stage and self._in_map[stage][index][0] == box:
+                return True
+        return False
 
     def _allowed_outputs(self, stage: int, box: int, in_port: int) -> List[int]:
+        if self._failed and ("box", (stage, box)) in self._failed:
+            return []
         usage = self._box_usage.get((stage, box))
         if not usage:
             return [UPPER, LOWER]

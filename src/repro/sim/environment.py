@@ -20,6 +20,10 @@ class EmptySchedule(SimulationError):
     """Raised by :meth:`Environment.step` when no events remain."""
 
 
+#: Default bound on the pending-event queue (see ``max_queue_length``).
+DEFAULT_MAX_QUEUE_LENGTH = 1_000_000
+
+
 class Environment:
     """Discrete-event simulation environment.
 
@@ -27,13 +31,24 @@ class Environment:
     helpers to create events, timeouts and processes.  Deterministic given
     the same sequence of schedule calls: ties in time are broken by priority
     and then by insertion order.
+
+    ``max_queue_length`` bounds the number of simultaneously pending events:
+    a model that schedules without ever draining — the classic livelock shape
+    of a pathological fault schedule endlessly severing and retrying — fails
+    fast with a :class:`SimulationError` instead of consuming the machine.
+    Pass ``None`` to disable the guard.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0,
+                 max_queue_length: Optional[int] = DEFAULT_MAX_QUEUE_LENGTH):
+        if max_queue_length is not None and max_queue_length < 1:
+            raise SimulationError(
+                f"max_queue_length must be positive or None, got {max_queue_length}")
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._sequence = 0
         self._active_process = None
+        self.max_queue_length = max_queue_length
 
     # -- clock -----------------------------------------------------------
     @property
@@ -76,6 +91,13 @@ class Environment:
         """Insert ``event`` into the queue ``delay`` units from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if (self.max_queue_length is not None
+                and len(self._queue) >= self.max_queue_length):
+            raise SimulationError(
+                f"event queue exceeded max_queue_length={self.max_queue_length} "
+                f"at t={self._now}: the model is scheduling events faster than "
+                "it drains them (livelock guard; raise max_queue_length if the "
+                "backlog is intended)")
         heapq.heappush(self._queue, (self._now + delay, priority, self._sequence, event))
         self._sequence += 1
 

@@ -57,6 +57,26 @@ class TestCli:
         output = capsys.readouterr().out
         assert "RSIN" in output
 
+    def test_faults_resource(self, capsys):
+        assert main(["faults", "4/4x1x1 SBUS/2", "--mttf", "400",
+                     "--mttr", "50", "--horizon", "3000"]) == 0
+        output = capsys.readouterr().out
+        assert "fault model      : resource" in output
+        assert "degraded model" in output
+        assert "capacity offered" in output
+
+    def test_faults_interchange(self, capsys):
+        assert main(["faults", "8/1x8x8 OMEGA/1", "--kind", "interchange",
+                     "--mttf", "500", "--mttr", "40",
+                     "--horizon", "2000", "--task-timeout", "100"]) == 0
+        output = capsys.readouterr().out
+        assert "fault model      : interchange" in output
+
+    def test_faults_kind_mismatch_reports_error(self, capsys):
+        assert main(["faults", "4/4x1x1 SBUS/2", "--kind", "cell",
+                     "--horizon", "1000"]) == 1
+        assert "error" in capsys.readouterr().err
+
 
 class TestRender:
     def make_series(self):

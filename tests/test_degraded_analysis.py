@@ -1,0 +1,125 @@
+"""Tests for the degraded-capacity (k of m resources up) analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis.degraded import (
+    availability_distribution,
+    degraded_metrics,
+    degraded_system_metrics,
+    degraded_throughput_curve,
+    machine_repair_distribution,
+)
+from repro.config import SystemConfig
+from repro.core.system import simulate
+from repro.errors import ConfigurationError
+from repro.faults import FaultConfig, ResourceFault, RetryPolicy
+from repro.queueing import mmc_metrics
+from repro.workload import Workload
+
+
+class TestAvailabilityDistribution:
+    def test_binomial_pmf(self):
+        pmf = availability_distribution(2, 0.9)
+        assert pmf == pytest.approx((0.01, 0.18, 0.81))
+        assert sum(pmf) == pytest.approx(1.0)
+
+    def test_perfect_and_dead_fleet(self):
+        assert availability_distribution(3, 1.0) == (0.0, 0.0, 0.0, 1.0)
+        assert availability_distribution(3, 0.0) == (1.0, 0.0, 0.0, 0.0)
+
+    def test_matches_machine_repair_ctmc(self):
+        """Binomial(m, A) is the machine-repair chain's stationary law."""
+        for servers, mttf, mttr in [(4, 900.0, 100.0), (8, 50.0, 200.0),
+                                    (1, 10.0, 10.0)]:
+            binomial = availability_distribution(
+                servers, mttf / (mttf + mttr))
+            chain = machine_repair_distribution(servers, mttf, mttr)
+            assert chain == pytest.approx(binomial, abs=1e-12)
+
+    def test_infinite_mttf_concentrates_on_all_up(self):
+        assert machine_repair_distribution(3, math.inf, 5.0)[-1] == 1.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            availability_distribution(0, 0.5)
+        with pytest.raises(ConfigurationError):
+            availability_distribution(2, 1.5)
+        with pytest.raises(ConfigurationError):
+            machine_repair_distribution(2, -1.0, 5.0)
+
+
+class TestDegradedMetrics:
+    def test_reduces_to_mmc_when_always_up(self):
+        metrics = degraded_metrics(arrival_rate=0.4, service_rate=0.1,
+                                   servers=8, mttf=math.inf, mttr=1.0)
+        exact = mmc_metrics(0.4, 0.1, 8)
+        assert metrics.throughput == pytest.approx(0.4)
+        assert metrics.mean_queueing_delay == \
+            pytest.approx(exact.mean_waiting_time)
+        assert metrics.saturated_probability == 0.0
+        assert metrics.capacity_factor == 1.0
+
+    def test_throughput_mixture(self):
+        # Two servers, A = 0.5, saturated offered load: throughput is the
+        # availability-weighted capacity 0.25*0 + 0.5*mu + 0.25*2mu.
+        metrics = degraded_metrics(arrival_rate=10.0, service_rate=1.0,
+                                   servers=2, mttf=50.0, mttr=50.0)
+        assert metrics.availability == pytest.approx(0.5)
+        assert metrics.throughput == pytest.approx(0.25 * 0 + 0.5 * 1 + 0.25 * 2)
+        assert metrics.saturated_probability == pytest.approx(1.0)
+        assert metrics.throughput_loss == pytest.approx(2.0 - 1.0)
+
+    def test_delay_increases_as_availability_drops(self):
+        healthy = degraded_metrics(0.4, 0.1, 8, mttf=math.inf, mttr=1.0)
+        degraded = degraded_metrics(0.4, 0.1, 8, mttf=400.0, mttr=100.0)
+        worse = degraded_metrics(0.4, 0.1, 8, mttf=100.0, mttr=100.0)
+        assert healthy.mean_queueing_delay < degraded.mean_queueing_delay
+        assert degraded.expected_servers_up > worse.expected_servers_up
+
+    def test_throughput_curve_is_monotone_and_capped(self):
+        curve = degraded_throughput_curve(
+            service_rate=0.1, servers=4, mttf=900.0, mttr=100.0,
+            arrival_rates=(0.05, 0.1, 0.2, 0.4, 0.8, 1.6))
+        values = [throughput for _rate, throughput in curve]
+        assert values == sorted(values)
+        # Cap: expected capacity is A * servers * mu.
+        assert values[-1] <= 0.9 * 4 * 0.1 + 1e-12
+
+
+class TestSystemLevel:
+    WORKLOAD = Workload(arrival_rate=0.05, transmission_rate=20.0,
+                        service_rate=0.1)
+
+    def _config(self, triplet="8/8x1x1 SBUS/4", mttf=900.0, mttr=100.0):
+        return SystemConfig.parse(triplet).with_faults(FaultConfig(
+            models=(ResourceFault(mttf=mttf, mttr=mttr),),
+            retry=RetryPolicy(max_retries=10)))
+
+    def test_per_port_decomposition(self):
+        prediction = degraded_system_metrics(self._config(), self.WORKLOAD)
+        assert prediction.ports == 8
+        assert prediction.per_port.servers == 4
+        assert prediction.availability == pytest.approx(0.9)
+        assert prediction.expected_resources_up == pytest.approx(0.9 * 32)
+        assert prediction.throughput == \
+            pytest.approx(8 * prediction.per_port.throughput)
+
+    def test_requires_resource_fault_model(self):
+        config = SystemConfig.parse("8/8x1x1 SBUS/4")
+        with pytest.raises(ConfigurationError):
+            degraded_system_metrics(config, self.WORKLOAD)
+        with pytest.raises(ConfigurationError):
+            degraded_system_metrics(
+                config.with_faults(FaultConfig()), self.WORKLOAD)
+
+    def test_cross_validation_light_load(self):
+        """Simulated fault-injected throughput within 5% of the model."""
+        config = self._config("8/1x1x1 SBUS/16", mttf=500.0, mttr=125.0)
+        prediction = degraded_system_metrics(config, self.WORKLOAD)
+        result = simulate(config, self.WORKLOAD, horizon=40_000.0,
+                          warmup=4_000.0, seed=5)
+        assert result.availability.total_failures > 0
+        assert result.throughput == \
+            pytest.approx(prediction.throughput, rel=0.05)

@@ -1,0 +1,85 @@
+"""Reproducibility of fault-injected simulations.
+
+The same seed and the same fault configuration must produce identical
+:class:`~repro.core.metrics.SimulationResult` objects across runs, for all
+three network classes — both with stochastic fault processes and with
+explicit schedules.  Fault streams are independent of workload streams, so
+the healthy run is also insensitive to attaching never-firing models.
+"""
+
+import math
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.system import simulate
+from repro.faults import (
+    BusFault,
+    CellFault,
+    FaultConfig,
+    FaultSchedule,
+    InterchangeFault,
+    ResourceFault,
+    RetryPolicy,
+)
+from repro.workload import Workload
+
+WORKLOAD = Workload(arrival_rate=0.05, transmission_rate=1.0,
+                    service_rate=0.1)
+
+FABRIC_CASES = [
+    ("8/2x1x1 SBUS/4", BusFault(mttf=150.0, mttr=25.0)),
+    ("8/1x8x8 XBAR/1", CellFault(mttf=400.0, mttr=30.0)),
+    ("8/1x8x8 OMEGA/1", InterchangeFault(mttf=250.0, mttr=25.0)),
+]
+
+
+def _run(triplet, faults, seed):
+    config = SystemConfig.parse(triplet).with_faults(faults)
+    return simulate(config, WORKLOAD, horizon=1_500.0, warmup=100.0,
+                    seed=seed)
+
+
+@pytest.mark.parametrize("triplet,model", FABRIC_CASES)
+def test_same_seed_same_faults_identical_results(triplet, model):
+    faults = FaultConfig(models=(model,),
+                         retry=RetryPolicy(max_retries=5, task_timeout=300.0))
+    first = _run(triplet, faults, seed=13)
+    second = _run(triplet, faults, seed=13)
+    assert first == second
+    assert first.availability.total_failures == \
+        second.availability.total_failures
+    assert first.availability.total_downtime == \
+        pytest.approx(second.availability.total_downtime, rel=0.0)
+
+
+@pytest.mark.parametrize("triplet,model", FABRIC_CASES)
+def test_different_seed_differs(triplet, model):
+    faults = FaultConfig(models=(model,), retry=RetryPolicy(max_retries=5))
+    assert _run(triplet, faults, seed=13) != _run(triplet, faults, seed=14)
+
+
+def test_explicit_schedule_is_deterministic():
+    schedule = FaultSchedule.of((200.0, "bus", (0, 0), "down"),
+                                (260.0, "bus", (0, 0), "up"),
+                                (700.0, "bus", (1, 0), "down"),
+                                (780.0, "bus", (1, 0), "up"))
+    faults = FaultConfig(schedule=schedule, retry=RetryPolicy(jitter=0.25))
+    first = _run("8/2x1x1 SBUS/4", faults, seed=21)
+    second = _run("8/2x1x1 SBUS/4", faults, seed=21)
+    assert first == second
+    assert first.availability.total_failures == 2
+
+
+@pytest.mark.parametrize("triplet,model_class", [
+    ("8/2x1x1 SBUS/4", ResourceFault),
+    ("8/1x8x8 XBAR/1", CellFault),
+    ("8/1x8x8 OMEGA/1", InterchangeFault),
+])
+def test_idle_fault_models_reproduce_healthy_run(triplet, model_class):
+    """mttf = inf attaches the machinery without perturbing the physics."""
+    healthy = simulate(SystemConfig.parse(triplet), WORKLOAD,
+                       horizon=1_500.0, warmup=100.0, seed=5)
+    faults = FaultConfig(models=(model_class(mttf=math.inf, mttr=1.0),))
+    shadow = _run(triplet, faults, seed=5)
+    assert shadow == healthy

@@ -90,6 +90,41 @@ def test_run_until_event_never_fires_raises():
         env.run_until_event(orphan)
 
 
+def test_livelock_guard_bounds_queue_growth():
+    """A model that schedules faster than it drains hits the guard."""
+    env = Environment(max_queue_length=100)
+
+    def explode(event):
+        for _ in range(2):  # two children per event: exponential growth
+            env.timeout(1.0).add_callback(explode)
+
+    env.timeout(1.0).add_callback(explode)
+    with pytest.raises(SimulationError, match="max_queue_length"):
+        env.run(until=1_000.0)
+
+
+def test_livelock_guard_disabled_with_none():
+    env = Environment(max_queue_length=None)
+    for _ in range(200):
+        env.timeout(1.0)
+    env.run()  # no guard, drains fine
+
+
+def test_livelock_guard_rejects_nonpositive_bound():
+    with pytest.raises(SimulationError):
+        Environment(max_queue_length=0)
+
+
+def test_livelock_guard_default_allows_normal_models():
+    env = Environment()
+    seen = []
+    for delay in range(1, 50):
+        env.timeout(float(delay)).add_callback(
+            lambda e: seen.append(env.now))
+    env.run()
+    assert len(seen) == 49
+
+
 def test_nested_scheduling_from_callbacks():
     env = Environment()
     seen = []
