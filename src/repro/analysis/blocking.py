@@ -25,7 +25,6 @@ non-blocking network, and every shortfall from that is charged as blocking.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -37,6 +36,7 @@ from repro.networks.address_mapping import (
 )
 from repro.networks.omega import ClockedMultistageScheduler
 from repro.networks.topology import MultistageTopology, make_topology
+from repro.sim.rng import RandomStreams
 
 
 @dataclass(frozen=True)
@@ -65,7 +65,7 @@ def blocking_comparison(topology_kind: str = "OMEGA", size: int = 8,
     (:func:`repro.analysis.matching.optimal_allocation`) up to
     ``optimal_limit`` requests.
     """
-    rng = random.Random(seed)
+    rng = RandomStreams(seed).stream("blocking-comparison")
     points: List[BlockingPoint] = []
     for k in request_sizes:
         if not 1 <= k <= size:
@@ -113,7 +113,7 @@ def full_permutation_blocking(topology_kind: str = "OMEGA", size: int = 8,
     blocking of a random permutation on an 8x8 Omega; the distributed side
     shows the gain of searching instead of aiming.
     """
-    rng = random.Random(seed)
+    rng = RandomStreams(seed).stream("permutation-blocking")
     address_blocked = 0.0
     rsin_blocked = 0.0
     for _ in range(trials):

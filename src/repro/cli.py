@@ -9,7 +9,9 @@ Commands:
 * ``recommend``  — the Table II advisor over the standard candidates;
 * ``blocking``   — the Section V blocking comparison;
 * ``faults``     — fault-injected run with availability report and the
-  degraded-capacity prediction.
+  degraded-capacity prediction;
+* ``lint``       — the determinism lint (SIM001-SIM004) over the source
+  tree, with ``--format json`` for CI.
 """
 
 from __future__ import annotations
@@ -92,6 +94,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="abandon queued tasks older than this")
     faults.add_argument("--horizon", type=float, default=30_000.0)
     faults.add_argument("--seed", type=int, default=1)
+
+    lint = commands.add_parser(
+        "lint", help="determinism lint (SIM001-SIM004) over the source tree")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", dest="lint_format", default="text",
+                      choices=["text", "json"],
+                      help="report format (json is stable for CI)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
     return parser
 
 
@@ -210,6 +222,24 @@ def _command_faults(args) -> int:
     return 0
 
 
+def _command_lint(args) -> int:
+    from repro.lint import DEFAULT_RULES, format_json, format_text, lint_paths
+    if args.list_rules:
+        for rule in DEFAULT_RULES:
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+    try:
+        findings = lint_paths(args.paths)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.lint_format == "json":
+        print(format_json(findings))
+    else:
+        print(format_text(findings))
+    return 1 if findings else 0
+
+
 _COMMANDS = {
     "list": _command_list,
     "experiment": _command_experiment,
@@ -218,6 +248,7 @@ _COMMANDS = {
     "recommend": _command_recommend,
     "blocking": _command_blocking,
     "faults": _command_faults,
+    "lint": _command_lint,
 }
 
 

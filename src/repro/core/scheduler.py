@@ -21,12 +21,12 @@ distributed wavefront's ``4 (p + m)`` request cycle.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.networks.topology import Link, MultistageTopology
+from repro.sim.rng import RngStream
 
 
 @dataclass(frozen=True)
@@ -87,7 +87,7 @@ def tree_allocator(requests: Sequence[int], free_resources: Sequence[int],
 
 def centralized_multistage(topology: MultistageTopology, requests: Sequence[int],
                            free_resources: Sequence[int],
-                           rng: Optional[random.Random] = None) -> CentralizedOutcome:
+                           rng: Optional[RngStream] = None) -> CentralizedOutcome:
     """Centralized scheduling on a blocking multistage network.
 
     The scheduler picks a free resource for each request and attempts to
@@ -97,7 +97,7 @@ def centralized_multistage(topology: MultistageTopology, requests: Sequence[int]
     With ``O(N)`` retries per request this realizes the paper's
     ``O(N^2 log2 N)`` bound.
     """
-    rng = rng if rng is not None else random.Random(0)
+    rng = rng if rng is not None else RngStream(0, name="centralized-multistage")
     free: List[int] = sorted(set(free_resources))
     used_links: Set[Link] = set()
     per_attempt = _ceil_log2(topology.size)

@@ -301,7 +301,7 @@ def table2_selection(horizon: float = 20_000.0,
 def cycle_time_comparison(sizes: Sequence[int] = (4, 8, 16, 32, 64),
                           seed: int = 0) -> List[Dict[str, float]]:
     """Gate-delay cost of serving N requests, scheduler by scheduler."""
-    import random
+    from repro.sim.rng import RngStream
 
     rows = []
     for size in sizes:
@@ -310,7 +310,8 @@ def cycle_time_comparison(sizes: Sequence[int] = (4, 8, 16, 32, 64),
         centralized = priority_circuit_crossbar(requests, free, size, size)
         topology = OmegaTopology(size)
         multistage = centralized_multistage(
-            topology, requests, free, rng=random.Random(seed))
+            topology, requests, free,
+            rng=RngStream(seed, name="cycle-time-comparison"))
         rows.append({
             "N": size,
             "distributed_crossbar": distributed_crossbar_delay(size, size),

@@ -32,12 +32,12 @@ by :attr:`repro.config.SystemConfig.faults`.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass, field
 from typing import ClassVar, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.faults.retry import RetryPolicy
+from repro.sim.rng import RngStream
 from repro.workload.arrivals import DISTRIBUTIONS, sample_time
 
 #: Component kinds a fault model can target.
@@ -86,13 +86,13 @@ class FaultModel:
         return self.mttf / (self.mttf + self.mttr)
 
     # -- samplers ----------------------------------------------------------
-    def next_failure(self, rng: random.Random) -> float:
+    def next_failure(self, rng: RngStream) -> float:
         """Up-time until the next failure (``inf`` = never fails)."""
         if self.mttf == math.inf:
             return math.inf
         return sample_time(rng, 1.0 / self.mttf, self.failure_distribution)
 
-    def next_repair(self, rng: random.Random) -> float:
+    def next_repair(self, rng: RngStream) -> float:
         """Down-time until the component is repaired."""
         return sample_time(rng, 1.0 / self.mttr, self.repair_distribution)
 

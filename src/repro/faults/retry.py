@@ -14,10 +14,10 @@ outage.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, RetryExhaustedError
+from repro.sim.rng import RngStream
 
 
 @dataclass(frozen=True)
@@ -55,7 +55,7 @@ class RetryPolicy:
             raise ConfigurationError(
                 f"task_timeout must be positive, got {self.task_timeout}")
 
-    def next_delay(self, attempt: int, rng: random.Random) -> float:
+    def next_delay(self, attempt: int, rng: RngStream) -> float:
         """Backoff before re-attempt ``attempt`` (1-based).
 
         Raises :class:`RetryExhaustedError` once the budget is spent.

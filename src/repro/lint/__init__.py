@@ -1,0 +1,46 @@
+"""Project-specific static analysis: the determinism sanitizer's static half.
+
+``repro lint`` walks the source tree with a small AST engine
+(:mod:`repro.lint.engine`) and a set of project rules
+(:mod:`repro.lint.rules`) that encode what bit-for-bit reproducibility
+demands of this codebase:
+
+* **SIM001** — no ``random`` / ``numpy.random`` import outside
+  ``sim/rng.py``; randomness must flow through injected
+  :class:`~repro.sim.rng.RngStream` objects so every draw is seeded.
+* **SIM002** — no wall-clock reads (``time.time``, ``datetime.now``, …)
+  inside ``sim/``, ``core/`` or ``networks/``; simulated time is the only
+  clock the kernel may observe.
+* **SIM003** — event callbacks must not reach into the kernel's private
+  state (``env._queue`` and friends); mutation goes through the
+  :class:`~repro.sim.environment.Environment` API.
+* **SIM004** — ``*Config`` dataclasses must define ``__post_init__`` so
+  units and ranges are validated at construction, not discovered mid-run.
+
+Findings carry ``file:line:column`` positions, can be suppressed per line
+with ``# lint: disable=SIM001`` (comma-separated lists allowed), and are
+emitted as text or JSON (``repro lint --format json``) for CI.
+"""
+
+from repro.lint.engine import (
+    Finding,
+    LintRule,
+    format_json,
+    format_text,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.rules import DEFAULT_RULES, RULES_BY_CODE
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "DEFAULT_RULES",
+    "RULES_BY_CODE",
+    "format_json",
+    "format_text",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,162 @@
+"""AST lint engine: file walking, suppression, and output formats.
+
+The engine is rule-agnostic: a rule is anything implementing
+:class:`LintRule` — a code, a one-line summary, a path predicate, and a
+``check`` generator yielding ``(node, message)`` pairs over a parsed
+module.  The engine owns everything else: discovering files, parsing,
+applying ``# lint: disable=...`` suppressions, ordering findings, and
+rendering them as text or JSON.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Pseudo-rule code attached to files the engine cannot parse.
+PARSE_ERROR_CODE = "SIM000"
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".mypy_cache", ".ruff_cache", "build", "dist"}
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation at a source position."""
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """The classic ``file:line:col: CODE message`` single-line form."""
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for ``--format json`` CI output."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+class LintRule:
+    """Base class for project lint rules.
+
+    Subclasses set :attr:`code` (``SIMxxx``) and :attr:`summary`, optionally
+    narrow :meth:`applies_to`, and implement :meth:`check` as a generator of
+    ``(node, message)`` pairs.  Rules see POSIX-normalized paths so path
+    predicates are platform-independent.
+    """
+
+    code: str = ""
+    summary: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule runs on ``path`` (POSIX-normalized)."""
+        return True
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Tuple[ast.AST, str]]:
+        """Yield ``(node, message)`` for each violation in ``tree``."""
+        raise NotImplementedError
+
+
+def path_parts(path: str) -> Tuple[str, ...]:
+    """The components of a POSIX-normalized path (helper for rules)."""
+    return PurePosixPath(path).parts
+
+
+def _suppressed_codes(line: str) -> frozenset:
+    """Lint codes disabled by a ``# lint: disable=...`` comment on ``line``."""
+    match = _SUPPRESS_RE.search(line)
+    if match is None:
+        return frozenset()
+    return frozenset(code.strip().upper()
+                     for code in match.group(1).split(",") if code.strip())
+
+
+def lint_source(source: str, path: str,
+                rules: Optional[Sequence[LintRule]] = None) -> List[Finding]:
+    """Lint one module's source text; ``path`` is used for scoping/reporting."""
+    if rules is None:
+        from repro.lint.rules import DEFAULT_RULES
+        rules = DEFAULT_RULES
+    norm = PurePosixPath(path).as_posix()
+    try:
+        tree = ast.parse(source, filename=norm)
+    except SyntaxError as error:
+        return [Finding(path=norm, line=error.lineno or 1,
+                        column=(error.offset or 1), code=PARSE_ERROR_CODE,
+                        message=f"syntax error: {error.msg}")]
+    lines = source.splitlines()
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(norm):
+            continue
+        for node, message in rule.check(tree, norm):
+            line = getattr(node, "lineno", 1)
+            column = getattr(node, "col_offset", 0) + 1
+            line_text = lines[line - 1] if 1 <= line <= len(lines) else ""
+            suppressed = _suppressed_codes(line_text)
+            if rule.code in suppressed or "ALL" in suppressed:
+                continue
+            findings.append(Finding(path=norm, line=line, column=column,
+                                    code=rule.code, message=message))
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (files listed are taken as-is)."""
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            yield root
+            continue
+        if not root.is_dir():
+            raise FileNotFoundError(f"lint target does not exist: {raw}")
+        for candidate in sorted(root.rglob("*.py")):
+            if any(part in _SKIP_DIRS or part.startswith(".")
+                   for part in candidate.parts):
+                continue
+            yield candidate
+
+
+def lint_paths(paths: Iterable[str],
+               rules: Optional[Sequence[LintRule]] = None) -> List[Finding]:
+    """Lint every Python file under ``paths``; findings in path order."""
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, file_path.as_posix(), rules))
+    return findings
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one line per finding plus a tally."""
+    if not findings:
+        return "repro lint: clean"
+    lines = [finding.format() for finding in findings]
+    lines.append(f"repro lint: {len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report for CI consumption."""
+    payload = {
+        "tool": "repro-lint",
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

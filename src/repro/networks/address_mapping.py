@@ -16,12 +16,12 @@ baseline side of that comparison:
 from __future__ import annotations
 
 import itertools
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.networks.topology import Link, MultistageTopology
+from repro.sim.rng import RngStream
 
 
 @dataclass(frozen=True)
@@ -80,7 +80,7 @@ def max_conflict_free(topology: MultistageTopology, sources: Sequence[int],
 
 def random_mapping_outcome(topology: MultistageTopology, sources: Sequence[int],
                            destinations: Sequence[int],
-                           rng: random.Random) -> RoutingOutcome:
+                           rng: RngStream) -> RoutingOutcome:
     """Route a random one-to-one mapping of sources onto free destinations.
 
     Models an address-mapping scheduler that picks destinations without

@@ -17,11 +17,11 @@ untouched — the crossbar degrades per-crosspoint, not per-port.
 
 from __future__ import annotations
 
-import random
 from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.networks.base import Connection, NetworkFabric
+from repro.sim.rng import RngStream
 
 ARBITRATION_POLICIES = ("priority", "random")
 
@@ -30,14 +30,14 @@ class CrossbarFabric(NetworkFabric):
     """A ``p x m`` non-blocking crossbar with distributed scheduling cells."""
 
     def __init__(self, inputs: int, outputs: int, arbitration: str = "priority",
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[RngStream] = None):
         super().__init__(inputs=inputs, outputs=outputs)
         if arbitration not in ARBITRATION_POLICIES:
             raise ConfigurationError(
                 f"unknown arbitration {arbitration!r}; "
                 f"expected one of {ARBITRATION_POLICIES}")
         self.arbitration = arbitration
-        self._rng = rng if rng is not None else random.Random(0)
+        self._rng = rng if rng is not None else RngStream(0, name="xbar-arbitration")
         self._components: Tuple[Tuple, ...] = tuple(
             ("cell", (i, j))
             for i in range(inputs) for j in range(outputs))

@@ -14,10 +14,10 @@ used by the fast queueing simulator.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.errors import ConfigurationError
+from repro.sim.rng import RngStream
 
 
 class TokenRingArbiter:
@@ -29,13 +29,13 @@ class TokenRingArbiter:
     current token positions, which drift independently of processor index.
     """
 
-    def __init__(self, processors: int, buses: int, rng: Optional[random.Random] = None):
+    def __init__(self, processors: int, buses: int, rng: Optional[RngStream] = None):
         if processors < 1 or buses < 1:
             raise ConfigurationError(
                 f"arbiter needs positive dimensions, got {processors}x{buses}")
         self.processors = processors
         self.buses = buses
-        self._rng = rng if rng is not None else random.Random(0)
+        self._rng = rng if rng is not None else RngStream(0, name="token-ring")
         # Token positions start at random offsets, as after power-up drift.
         self._position: List[int] = [
             self._rng.randrange(processors) for _ in range(buses)
@@ -79,7 +79,7 @@ class TokenRingArbiter:
 
 
 def random_match(requesting_rows: Sequence[int], available_columns: Sequence[int],
-                 rng: random.Random) -> Dict[int, int]:
+                 rng: RngStream) -> Dict[int, int]:
     """Closed-form equivalent of token arbitration: a uniform random pairing."""
     rows = list(dict.fromkeys(requesting_rows))
     columns = list(dict.fromkeys(available_columns))

@@ -5,7 +5,10 @@ Public surface:
 * :class:`Environment` — clock, event queue, run loop;
 * :class:`Event`, :class:`Timeout`, :class:`Condition` — event primitives;
 * :class:`Process` — generator-based processes;
-* :class:`RandomStreams` — reproducible named random streams;
+* :class:`RandomStreams` / :class:`RngStream` — reproducible named random
+  streams (the only sanctioned randomness in the package, rule SIM001);
+* :class:`TieSanitizer` — the simultaneous-event race detector
+  (checkpoint/replay of same-timestamp ties, see :mod:`repro.sim.sanitizer`);
 * statistics collectors: :class:`TallyStat`, :class:`TimeWeightedStat`,
   :class:`BatchMeans`, :func:`confidence_interval`;
 * :class:`Trace` — optional event log.
@@ -18,6 +21,7 @@ from repro.sim.events import (
     PRIORITY_URGENT,
     Condition,
     Event,
+    QueueEntry,
     Timeout,
     all_of,
     any_of,
@@ -25,7 +29,14 @@ from repro.sim.events import (
 from repro.sim.monitor import Trace, TraceRecord
 from repro.sim.process import Process
 from repro.sim.resources import SimResource, SimStore
-from repro.sim.rng import RandomStreams
+from repro.sim.rng import RandomStreams, RngStream
+from repro.sim.sanitizer import (
+    RaceConditionDetected,
+    RaceFinding,
+    TieSanitizer,
+    metric_digest,
+    state_digest,
+)
 from repro.sim.stats import (
     BatchMeans,
     TallyStat,
@@ -37,12 +48,19 @@ __all__ = [
     "Environment",
     "EmptySchedule",
     "Event",
+    "QueueEntry",
     "Timeout",
     "Condition",
     "Process",
     "SimResource",
     "SimStore",
     "RandomStreams",
+    "RngStream",
+    "TieSanitizer",
+    "RaceFinding",
+    "RaceConditionDetected",
+    "metric_digest",
+    "state_digest",
     "TallyStat",
     "TimeWeightedStat",
     "BatchMeans",

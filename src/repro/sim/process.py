@@ -9,10 +9,13 @@ other.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.errors import SimulationError
 from repro.sim.events import PRIORITY_URGENT, Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.sim.environment import Environment
 
 
 class Process(Event):
@@ -20,7 +23,7 @@ class Process(Event):
 
     __slots__ = ("_generator", "_waiting_on")
 
-    def __init__(self, env, generator: Generator):
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]):
         if not hasattr(generator, "send"):
             raise TypeError(
                 f"Process needs a generator, got {type(generator).__name__}; "
@@ -28,7 +31,7 @@ class Process(Event):
             )
         super().__init__(env)
         self._generator = generator
-        self._waiting_on = None
+        self._waiting_on: Optional[Event] = None
         # Kick off at the current time, ahead of ordinary events so that a
         # process started "now" observes the world before it changes.
         bootstrap = Event(env)

@@ -1,0 +1,186 @@
+"""Simultaneous-event race detector for the simulation kernel.
+
+The event heap breaks timestamp ties deterministically (FIFO by schedule
+order — see :class:`repro.sim.events.QueueEntry`), which makes every run
+reproducible.  Reproducible is not the same as *correct*: a model whose
+outcome depends on the pop order of same-timestamp events is relying on an
+accident of scheduling, and its delay curves cannot be compared against
+closed-form results that assume the tie order is immaterial (Wah's
+wavefront request cycle resolves simultaneous requests in hardware priority
+order precisely because the paper's analysis needs that order pinned down).
+
+:class:`TieSanitizer` makes the kernel prove order-independence at runtime.
+With a sanitizer attached, :meth:`Environment.step` intercepts every batch
+of events that share a ``(time, priority)`` slot and
+
+1. checkpoints model state through the user-supplied ``snapshot`` hook;
+2. processes the batch in the committed FIFO order and records a metric
+   ``digest``;
+3. restores the checkpoint and replays the batch under seeded permutations
+   of the pop order;
+4. reports any digest divergence as a :class:`RaceFinding` (or raises
+   :class:`RaceConditionDetected` in ``on_race="raise"`` mode);
+5. restores the FIFO outcome and continues, so the sanitized run commits
+   exactly what an unsanitized run would have.
+
+Requirements on the model: ``snapshot``/``restore`` must capture every
+piece of state the tied callbacks mutate, and callbacks may *schedule new
+events* but must not trigger pre-existing :class:`~repro.sim.events.Event`
+objects (a triggered event cannot be un-triggered when the checkpoint is
+restored).  Callback-style models satisfy this naturally; generator-based
+processes should use whole-run replay (run twice, compare digests) instead.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, MutableMapping, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.rng import RngStream
+
+#: Reporting modes for :class:`TieSanitizer`.
+ON_RACE_MODES = ("record", "raise")
+
+
+def state_digest(*parts: Any) -> str:
+    """A short canonical digest of observable state.
+
+    Hashes the ``repr`` of each part; adequate for comparing two replays of
+    the same process, which is the only comparison the sanitizer makes.
+    """
+    blob = "\x1f".join(repr(part) for part in parts)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One order-dependent tie discovered by the sanitizer."""
+
+    time: float                   # simulation time of the tied batch
+    priority: int                 # shared priority class of the batch
+    events: int                   # number of events in the batch
+    permutation: Tuple[int, ...]  # pop order (indices into FIFO order) that diverged
+    baseline_digest: str          # digest after the committed FIFO order
+    permuted_digest: str          # digest after the permuted order
+
+    def __str__(self) -> str:
+        return (f"order-dependent tie at t={self.time:g}: {self.events} "
+                f"simultaneous events (priority {self.priority}) give digest "
+                f"{self.baseline_digest} in FIFO order but "
+                f"{self.permuted_digest} under pop order {self.permutation}")
+
+
+class RaceConditionDetected(SimulationError):
+    """Raised in ``on_race="raise"`` mode when a tie is order-dependent."""
+
+    def __init__(self, finding: RaceFinding):
+        super().__init__(str(finding))
+        self.finding = finding
+
+
+@dataclass
+class TieSanitizer:
+    """Configuration and findings ledger for the kernel's sanitizer mode.
+
+    ``snapshot``/``restore``/``digest`` are the model hooks described in the
+    module docstring; ``permutations`` bounds how many non-FIFO pop orders
+    each tie is replayed under (ties of two events have only one alternative
+    order, so fewer may run); ``seed`` makes the chosen permutations
+    reproducible; ``on_race`` selects recording versus fail-fast.
+    """
+
+    snapshot: Callable[[], Any]
+    restore: Callable[[Any], None]
+    digest: Callable[[], str]
+    permutations: int = 3
+    seed: int = 0
+    on_race: str = "record"
+    findings: List[RaceFinding] = field(default_factory=list)
+    ties_examined: int = 0
+    largest_tie: int = 0
+
+    def __post_init__(self) -> None:
+        if self.permutations < 1:
+            raise SimulationError(
+                f"permutations must be >= 1, got {self.permutations}")
+        if self.on_race not in ON_RACE_MODES:
+            raise SimulationError(
+                f"on_race must be one of {ON_RACE_MODES}, got {self.on_race!r}")
+        self._rng = RngStream(self.seed, name="tie-sanitizer")
+
+    # -- adapters ---------------------------------------------------------
+    @classmethod
+    def for_mapping(cls, state: MutableMapping, **kwargs: Any) -> "TieSanitizer":
+        """A sanitizer over a model whose whole state lives in one mapping.
+
+        Convenient for callback models that keep their counters in a dict:
+        snapshot deep-copies the mapping, restore rewrites it in place, and
+        the digest is order-insensitive over its items.
+        """
+
+        def snapshot() -> Any:
+            return copy.deepcopy(dict(state))
+
+        def restore(saved: Any) -> None:
+            state.clear()
+            state.update(saved)
+
+        def digest() -> str:
+            items = sorted(state.items(), key=lambda kv: repr(kv[0]))
+            return state_digest(items)
+
+        return cls(snapshot=snapshot, restore=restore, digest=digest, **kwargs)
+
+    # -- used by Environment ----------------------------------------------
+    def permutation_orders(self, size: int) -> List[Tuple[int, ...]]:
+        """Seeded non-identity pop orders to replay a tie of ``size`` under."""
+        identity = tuple(range(size))
+        seen = {identity}
+        orders: List[Tuple[int, ...]] = []
+        # Rejection-sample distinct permutations; for small ties the loop
+        # exhausts the alternatives long before the draw budget does.
+        for _attempt in range(self.permutations * 4):
+            if len(orders) >= self.permutations:
+                break
+            order = tuple(self._rng.sample(range(size), size))
+            if order in seen:
+                continue
+            seen.add(order)
+            orders.append(order)
+        return orders
+
+    def observe_tie(self, size: int) -> None:
+        """Record that a tie of ``size`` events is being examined."""
+        self.ties_examined += 1
+        self.largest_tie = max(self.largest_tie, size)
+
+    def report(self, finding: RaceFinding) -> None:
+        """Record ``finding``; raise it in fail-fast mode."""
+        self.findings.append(finding)
+        if self.on_race == "raise":
+            raise RaceConditionDetected(finding)
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def clean(self) -> bool:
+        """True when no examined tie was order-dependent."""
+        return not self.findings
+
+    def summary(self) -> str:
+        """One-line human summary for logs and CLI output."""
+        status = ("clean" if self.clean
+                  else f"{len(self.findings)} race finding(s)")
+        return (f"tie sanitizer: {self.ties_examined} tie(s) examined "
+                f"(largest {self.largest_tie}), {status}")
+
+
+def metric_digest(result: Any) -> str:
+    """Digest of a simulation result for run-to-run comparison.
+
+    Two runs of the same seeded configuration must produce equal digests;
+    the determinism regression tests assert exactly that for each fabric.
+    """
+    return state_digest(result)

@@ -10,10 +10,10 @@ assumptions.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.sim.rng import RngStream
 
 DISTRIBUTIONS = ("exponential", "deterministic", "hyperexponential")
 
@@ -21,7 +21,7 @@ DISTRIBUTIONS = ("exponential", "deterministic", "hyperexponential")
 _HYPER_CV2 = 4.0
 
 
-def sample_time(rng: random.Random, rate: float, distribution: str) -> float:
+def sample_time(rng: RngStream, rate: float, distribution: str) -> float:
     """Draw one holding time with the given mean rate and distribution."""
     if rate <= 0:
         raise ConfigurationError(f"rate must be positive, got {rate}")
@@ -75,15 +75,15 @@ class Workload:
         return self.service_rate / self.transmission_rate
 
     # -- samplers --------------------------------------------------------------
-    def next_interarrival(self, rng: random.Random) -> float:
+    def next_interarrival(self, rng: RngStream) -> float:
         """Time to the next task arrival at one processor."""
         return sample_time(rng, self.arrival_rate, self.interarrival_distribution)
 
-    def next_transmission(self, rng: random.Random) -> float:
+    def next_transmission(self, rng: RngStream) -> float:
         """Bus holding time of one task."""
         return sample_time(rng, self.transmission_rate,
                            self.transmission_distribution)
 
-    def next_service(self, rng: random.Random) -> float:
+    def next_service(self, rng: RngStream) -> float:
         """Resource service time of one task."""
         return sample_time(rng, self.service_rate, self.service_distribution)

@@ -144,3 +144,43 @@ def test_priority_orders_same_time_events():
     urgent.add_callback(lambda e: order.append("urgent"))
     env.run()
     assert order == ["urgent", "normal"]
+
+
+def test_same_time_same_priority_pops_fifo():
+    """Regression: timestamp ties resolve by monotonic schedule order.
+
+    The heap entry is a QueueEntry(time, priority, sequence, event); the
+    sequence tie-break must make same-slot events pop in the order they
+    were scheduled, on every Python version, and the comparison must never
+    fall through to the Event objects themselves.
+    """
+    env = Environment()
+    order = []
+    for label in range(8):
+        timer = env.timeout(3.0)
+        timer.add_callback(lambda e, lab=label: order.append(lab))
+    env.run()
+    assert order == list(range(8))
+
+
+def test_queue_entry_orders_by_time_priority_sequence():
+    from repro.sim import QueueEntry
+
+    env = Environment()
+    a, b = Event(env), Event(env)
+    assert QueueEntry(1.0, 1, 0, a) < QueueEntry(2.0, 0, 1, b)
+    assert QueueEntry(1.0, 0, 5, a) < QueueEntry(1.0, 1, 0, b)
+    assert QueueEntry(1.0, 1, 0, a) < QueueEntry(1.0, 1, 1, b)
+
+
+def test_interleaved_schedules_keep_fifo_within_slot():
+    env = Environment()
+    order = []
+    early = env.timeout(1.0)
+    late_first = env.timeout(2.0)
+    early.add_callback(lambda e: order.append("early"))
+    late_first.add_callback(lambda e: order.append("late-first"))
+    late_second = env.timeout(2.0)
+    late_second.add_callback(lambda e: order.append("late-second"))
+    env.run()
+    assert order == ["early", "late-first", "late-second"]

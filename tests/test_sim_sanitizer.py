@@ -1,0 +1,177 @@
+"""Tests for the simultaneous-event race detector and run determinism."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import simulate
+from repro.errors import SimulationError
+from repro.sim import (
+    Environment,
+    RaceConditionDetected,
+    TieSanitizer,
+    metric_digest,
+    state_digest,
+)
+from repro.workload.arrivals import Workload
+
+
+def _tied_callbacks(env, state, effects, delay=5.0):
+    """Schedule one same-timestamp event per effect, FIFO in given order."""
+    for effect in effects:
+        timer = env.timeout(delay)
+        timer.add_callback(lambda _event, fn=effect: fn(state))
+
+
+class TestRaceDetector:
+    def test_order_dependent_tie_is_reported(self):
+        state = {"x": 0}
+        sanitizer = TieSanitizer.for_mapping(state, seed=7)
+        env = Environment(sanitizer=sanitizer)
+        # Last writer wins: the committed value depends on pop order.
+        _tied_callbacks(env, state, [
+            lambda s: s.__setitem__("x", 1),
+            lambda s: s.__setitem__("x", 2),
+        ])
+        env.run()
+        assert len(sanitizer.findings) == 1
+        finding = sanitizer.findings[0]
+        assert finding.time == 5.0
+        assert finding.events == 2
+        assert finding.permutation == (1, 0)
+        assert finding.baseline_digest != finding.permuted_digest
+        assert "order-dependent tie at t=5" in str(finding)
+        assert not sanitizer.clean
+        # The committed outcome is the FIFO order's: second writer wins.
+        assert state["x"] == 2
+
+    def test_order_independent_tie_stays_silent(self):
+        state = {"x": 0}
+        sanitizer = TieSanitizer.for_mapping(state, seed=7)
+        env = Environment(sanitizer=sanitizer)
+        # Commutative increments: any pop order gives the same state.
+        _tied_callbacks(env, state, [
+            lambda s: s.__setitem__("x", s["x"] + 1),
+            lambda s: s.__setitem__("x", s["x"] + 10),
+        ])
+        env.run()
+        assert sanitizer.findings == []
+        assert sanitizer.clean
+        assert sanitizer.ties_examined == 1
+        assert sanitizer.largest_tie == 2
+        assert state["x"] == 11
+
+    def test_raise_mode_fails_fast(self):
+        state = {"x": 0}
+        sanitizer = TieSanitizer.for_mapping(state, seed=7, on_race="raise")
+        env = Environment(sanitizer=sanitizer)
+        _tied_callbacks(env, state, [
+            lambda s: s.__setitem__("x", 1),
+            lambda s: s.__setitem__("x", 2),
+        ])
+        with pytest.raises(RaceConditionDetected) as excinfo:
+            env.run()
+        assert excinfo.value.finding.events == 2
+
+    def test_three_way_tie_tries_multiple_permutations(self):
+        state = {"trace": ()}
+        sanitizer = TieSanitizer.for_mapping(state, seed=3, permutations=5)
+        env = Environment(sanitizer=sanitizer)
+        _tied_callbacks(env, state, [
+            lambda s, tag=tag: s.__setitem__("trace", s["trace"] + (tag,))
+            for tag in "abc"
+        ])
+        env.run()
+        # The appended order differs under every non-FIFO permutation.
+        assert 1 <= len(sanitizer.findings) <= 5
+        assert state["trace"] == ("a", "b", "c")
+
+    def test_sanitized_run_commits_fifo_outcome(self):
+        """A sanitized run must be event-for-event identical to a plain run."""
+        def run(with_sanitizer):
+            state = {"x": 0, "log": ()}
+            sanitizer = (TieSanitizer.for_mapping(state, seed=1)
+                         if with_sanitizer else None)
+            env = Environment(sanitizer=sanitizer)
+
+            def first(s):
+                s["log"] += ("first",)
+                follow = env.timeout(1.0)
+                follow.add_callback(
+                    lambda _e: s.__setitem__("log", s["log"] + ("follow",)))
+
+            def second(s):
+                s["log"] += ("second",)
+                s["x"] = 1
+
+            _tied_callbacks(env, state, [first, second])
+            env.run()
+            return state
+
+        assert run(True) == run(False)
+
+    def test_ties_across_priorities_are_not_permuted(self):
+        """Priority classes order deterministically; only FIFO ties race."""
+        from repro.sim import PRIORITY_URGENT
+
+        state = {"x": 0}
+        sanitizer = TieSanitizer.for_mapping(state, seed=0)
+        env = Environment(sanitizer=sanitizer)
+        urgent = env.timeout(5.0, priority=PRIORITY_URGENT)
+        urgent.add_callback(lambda _e: state.__setitem__("x", 1))
+        normal = env.timeout(5.0)
+        normal.add_callback(lambda _e: state.__setitem__("x", 2))
+        env.run()
+        assert sanitizer.findings == []
+        assert sanitizer.ties_examined == 0
+        assert state["x"] == 2
+
+    def test_sanitizer_rejects_bad_configuration(self):
+        with pytest.raises(SimulationError):
+            TieSanitizer(snapshot=dict, restore=lambda s: None,
+                         digest=lambda: "", permutations=0)
+        with pytest.raises(SimulationError):
+            TieSanitizer(snapshot=dict, restore=lambda s: None,
+                         digest=lambda: "", on_race="explode")
+
+    def test_summary_line(self):
+        state = {}
+        sanitizer = TieSanitizer.for_mapping(state)
+        assert "0 tie(s)" in sanitizer.summary()
+        assert "clean" in sanitizer.summary()
+
+
+class TestStateDigest:
+    def test_digest_is_stable_and_discriminating(self):
+        assert state_digest({"a": 1}) == state_digest({"a": 1})
+        assert state_digest({"a": 1}) != state_digest({"a": 2})
+        assert state_digest(1, 2) != state_digest(12)
+
+
+class TestRunDeterminism:
+    """Two identical seeded runs of each fabric give identical digests."""
+
+    WORKLOAD = Workload(arrival_rate=0.05, transmission_rate=1.0,
+                        service_rate=0.1)
+
+    @pytest.mark.parametrize("triplet", [
+        "8/8x1x1 SBUS/2",
+        "8/1x8x8 XBAR/1",
+        "8/1x8x8 OMEGA/2",
+    ])
+    def test_identical_seeded_runs_digest_equal(self, triplet):
+        config = SystemConfig.parse(triplet)
+
+        def digest():
+            result = simulate(config, self.WORKLOAD, horizon=2_000.0,
+                              warmup=200.0, seed=11)
+            return metric_digest(result)
+
+        assert digest() == digest()
+
+    def test_different_seeds_differ(self):
+        config = SystemConfig.parse("8/1x8x8 XBAR/1")
+        one = metric_digest(simulate(config, self.WORKLOAD,
+                                     horizon=2_000.0, warmup=200.0, seed=1))
+        two = metric_digest(simulate(config, self.WORKLOAD,
+                                     horizon=2_000.0, warmup=200.0, seed=2))
+        assert one != two
