@@ -16,7 +16,7 @@ import pytest
 
 from repro.analysis import crossover_intensity
 from repro.experiments import figure_series, format_series_table
-from _helpers import finite_delay, series_by_label
+from _helpers import finite_delay, series_by_label, timed_figure_series
 
 GRID = [round(0.08 * k, 4) for k in range(1, 15)]  # 0.08 .. 1.12
 
@@ -26,8 +26,8 @@ def curves():
     return figure_series("fig4", intensities=GRID)
 
 
-def test_fig4_generation(once):
-    series = once(figure_series, "fig4", intensities=GRID)
+def test_fig4_generation(benchmark):
+    series = timed_figure_series(benchmark, "fig4", intensities=GRID)
     print()
     print(format_series_table(series, title="Fig. 4 - SBUS, mu_s/mu_n = 0.1"))
     assert len(series) == 7

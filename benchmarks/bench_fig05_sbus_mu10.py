@@ -15,7 +15,7 @@ import pytest
 from repro.analysis import saturation_intensity
 from repro.config import SystemConfig
 from repro.experiments import figure_series, format_series_table
-from _helpers import finite_delay, series_by_label
+from _helpers import finite_delay, series_by_label, timed_figure_series
 
 GRID = [0.05, 0.08, 0.15, 0.3, 0.6, 0.9, 1.2, 1.35]
 
@@ -25,8 +25,8 @@ def curves():
     return figure_series("fig5", intensities=GRID)
 
 
-def test_fig5_generation(once):
-    series = once(figure_series, "fig5", intensities=GRID)
+def test_fig5_generation(benchmark):
+    series = timed_figure_series(benchmark, "fig5", intensities=GRID)
     print()
     print(format_series_table(series, title="Fig. 5 - SBUS, mu_s/mu_n = 1.0"))
     assert len(series) == 7

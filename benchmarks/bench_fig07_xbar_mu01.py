@@ -17,7 +17,7 @@ from repro.analysis import (
 )
 from repro.config import SystemConfig
 from repro.experiments import figure_series, format_series_table
-from _helpers import finite_delay, series_by_label
+from _helpers import finite_delay, series_by_label, timed_figure_series
 
 GRID = [0.3, 0.6, 0.9, 1.05]
 FULL = "16x32 crossbar, private ports"
@@ -30,8 +30,9 @@ def curves():
     return figure_series("fig7", intensities=GRID, quality="fast")
 
 
-def test_fig7_generation(once):
-    series = once(figure_series, "fig7", intensities=GRID, quality="fast")
+def test_fig7_generation(benchmark):
+    series = timed_figure_series(benchmark, "fig7", intensities=GRID,
+                                 quality="fast")
     print()
     print(format_series_table(series, title="Fig. 7 - XBAR, mu_s/mu_n = 0.1"))
     assert len(series) == 4

@@ -13,7 +13,7 @@ Paper claims reproduced here:
 import pytest
 
 from repro.experiments import figure_series, format_series_table
-from _helpers import finite_delay, series_by_label
+from _helpers import finite_delay, series_by_label, timed_figure_series
 
 GRID = [0.3, 0.6, 0.9, 1.05]
 BIG = "16x16 Omega, r=2"
@@ -26,8 +26,9 @@ def curves():
     return figure_series("fig12", intensities=GRID, quality="fast")
 
 
-def test_fig12_generation(once):
-    series = once(figure_series, "fig12", intensities=GRID, quality="fast")
+def test_fig12_generation(benchmark):
+    series = timed_figure_series(benchmark, "fig12", intensities=GRID,
+                                 quality="fast")
     print()
     print(format_series_table(series, title="Fig. 12 - OMEGA, mu_s/mu_n = 0.1"))
     assert len(series) == 4

@@ -14,7 +14,7 @@ Paper claims reproduced here:
 import pytest
 
 from repro.experiments import figure_series, format_series_table
-from _helpers import finite_delay, series_by_label
+from _helpers import finite_delay, series_by_label, timed_figure_series
 
 GRID = [0.4, 0.8, 1.2, 1.35]
 BIG = "16x16 Omega, r=2"
@@ -27,8 +27,9 @@ def curves():
     return figure_series("fig13", intensities=GRID, quality="fast")
 
 
-def test_fig13_generation(once):
-    series = once(figure_series, "fig13", intensities=GRID, quality="fast")
+def test_fig13_generation(benchmark):
+    series = timed_figure_series(benchmark, "fig13", intensities=GRID,
+                                 quality="fast")
     print()
     print(format_series_table(series, title="Fig. 13 - OMEGA, mu_s/mu_n = 1.0"))
     assert len(series) == 4

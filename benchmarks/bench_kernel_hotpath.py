@@ -1,0 +1,215 @@
+"""Kernel hot path: event throughput of the tuned ``Environment.run``.
+
+PR 3 flattened the kernel's inner loop — ``run`` pops the heap and
+dispatches callbacks inline instead of paying a ``step()`` frame plus an
+``Event._run_callbacks`` frame per event, ``Timeout`` writes its slots and
+schedules itself without the ``Event.__init__`` / ``Environment.schedule``
+frames, and the hot loop binds ``heappop`` and the queue to locals.  This
+benchmark measures event throughput (steps/sec) on the workload that
+dominates every sweep: long interleaved chains of timeout-driven
+processes, the shape a queueing simulation's event stream actually has.
+
+The baseline is a *reference kernel* embedded below — a line-for-line
+reduction of the seed implementation (pre-tuning ``environment.py`` /
+``events.py`` / ``process.py``) to the classes the chain workload touches.
+Benchmarking against live code would understate the win (the seed's
+``Timeout`` and callback dispatch no longer exist in the tree), so the
+seed shape is preserved here as the regression yardstick.  The tuned
+kernel must clear it by >= 1.2x (the ISSUE's acceptance floor); the
+measured margin on the A/B against the actual seed commit was ~1.4x.
+"""
+
+from __future__ import annotations
+
+import heapq
+from time import perf_counter
+
+from repro.sim import Environment
+
+#: Events processed per measured run (chains * events per chain).
+CHAINS = 100
+EVENTS_PER_CHAIN = 2_000
+TOTAL_EVENTS = CHAINS * EVENTS_PER_CHAIN
+
+
+# -- reference kernel (seed shape) ----------------------------------------
+# Faithful to the pre-tuning implementation's per-event cost structure:
+# Timeout pays Event.__init__ + Environment.schedule frames, step() pays a
+# frame plus Event._run_callbacks, run() calls self.step() per event, and
+# heap operations go through module-attribute lookups.  Keep in seed shape;
+# do not "fix" this to match the tuned kernel.
+
+class _SeedEvent:
+    __slots__ = ("env", "callbacks", "_value", "_exception",
+                 "_triggered", "_processed")
+
+    def __init__(self, env):
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._exception = None
+        self._triggered = False
+        self._processed = False
+
+    def succeed(self, value=None, priority=1):
+        self._value = value
+        self._triggered = True
+        self.env.schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def _run_callbacks(self):
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def add_callback(self, callback):
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class _SeedTimeout(_SeedEvent):
+    __slots__ = ("delay",)
+
+    def __init__(self, env, delay, value=None, priority=1):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._triggered = True
+        env.schedule(self, delay=delay, priority=priority)
+
+
+class _SeedProcess(_SeedEvent):
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, env, generator):
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on = None
+        bootstrap = _SeedEvent(env)
+        bootstrap.add_callback(self._resume)
+        bootstrap._value = None
+        bootstrap._triggered = True
+        env.schedule(bootstrap, delay=0.0, priority=0)
+
+    def _resume(self, event):
+        self._waiting_on = None
+        previous, self.env._active_process = self.env._active_process, self
+        try:
+            target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        finally:
+            self.env._active_process = previous
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class _SeedEnvironment:
+    def __init__(self, initial_time=0.0, max_queue_length=1_000_000):
+        self._now = float(initial_time)
+        self._queue = []
+        self._sequence = 0
+        self._active_process = None
+        self.max_queue_length = max_queue_length
+        self.sanitizer = None
+
+    def timeout(self, delay, value=None, priority=1):
+        return _SeedTimeout(self, delay, value=value, priority=priority)
+
+    def process(self, generator):
+        return _SeedProcess(self, generator)
+
+    def schedule(self, event, delay=0.0, priority=1):
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        if (self.max_queue_length is not None
+                and len(self._queue) >= self.max_queue_length):
+            raise ValueError("event queue exceeded max_queue_length")
+        heapq.heappush(self._queue,
+                       (self._now + delay, priority, self._sequence, event))
+        self._sequence += 1
+
+    def step(self):
+        if not self._queue:
+            raise ValueError("no more events scheduled")
+        if self.sanitizer is not None:
+            raise NotImplementedError
+        time, _priority, _seq, event = heapq.heappop(self._queue)
+        if time < self._now:
+            raise ValueError("event queue corrupted: time moved backwards")
+        self._now = time
+        event._run_callbacks()
+
+    def run(self, until=None):
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+
+
+# -- workload --------------------------------------------------------------
+
+def _timeout_chain(env, count, delay):
+    for _ in range(count):
+        yield env.timeout(delay)
+
+
+def _build(environment_class):
+    """An environment preloaded with interleaved timeout chains."""
+    env = environment_class()
+    for index in range(CHAINS):
+        # Distinct delays interleave the chains so the heap sees realistic
+        # churn instead of FIFO-like batches of equal keys.
+        env.process(_timeout_chain(env, EVENTS_PER_CHAIN,
+                                   1.0 + index / CHAINS))
+    return env
+
+
+def _throughput(environment_class):
+    """Events/sec through ``environment_class``'s run loop."""
+    env = _build(environment_class)
+    start = perf_counter()
+    env.run()
+    return TOTAL_EVENTS / (perf_counter() - start)
+
+
+# -- benchmarks ------------------------------------------------------------
+
+def test_kernel_hotpath_throughput(benchmark):
+    """Measure tuned-run throughput; record both kernels in the payload."""
+    rate = benchmark.pedantic(_throughput, args=(Environment,),
+                              rounds=3, iterations=1)
+    seed_rate = _throughput(_SeedEnvironment)
+    benchmark.extra_info["tuned_steps_per_sec"] = round(rate)
+    benchmark.extra_info["seed_shape_steps_per_sec"] = round(seed_rate)
+    benchmark.extra_info["speedup"] = round(rate / seed_rate, 3)
+    print(f"\ntuned run(): {rate:,.0f} steps/s; "
+          f"seed shape: {seed_rate:,.0f} steps/s; "
+          f"speedup {rate / seed_rate:.2f}x")
+    assert rate > 0
+
+
+def test_kernel_hotpath_speedup_floor():
+    """The tuned kernel must beat the seed shape by >= 1.2x.
+
+    Best-of-three on both sides to damp scheduler noise; the measured
+    margin is ~1.4x, so a failure here means the hot path regressed, not
+    that the host was busy.
+    """
+    tuned = max(_throughput(Environment) for _ in range(3))
+    seed = max(_throughput(_SeedEnvironment) for _ in range(3))
+    speedup = tuned / seed
+    print(f"\nspeedup: {speedup:.2f}x "
+          f"({tuned:,.0f} vs {seed:,.0f} steps/s)")
+    assert speedup >= 1.2, (
+        f"kernel hot path regressed: tuned run() only {speedup:.2f}x over "
+        f"the seed-shape reference kernel (floor 1.2x)")

@@ -9,8 +9,7 @@ independent buses, by event simulation otherwise.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.approximations import saturation_intensity, sbus_delay
@@ -70,22 +69,29 @@ def workload_at(intensity: float, mu_ratio: float,
                     service_rate=service_rate)
 
 
+def analytic_point(config: Union[SystemConfig, str], mu_ratio: float,
+                   intensity: float) -> SweepPoint:
+    """One exact Markov-chain delay point (SBUS configurations)."""
+    if isinstance(config, str):
+        config = SystemConfig.parse(config)
+    workload = workload_at(intensity, mu_ratio, processors=config.processors)
+    try:
+        estimate = sbus_delay(config, workload)
+    except UnstableSystemError:
+        return SweepPoint(intensity=intensity, normalized_delay=None)
+    return SweepPoint(
+        intensity=intensity,
+        normalized_delay=estimate.mean_delay * workload.service_rate)
+
+
 def analytic_series(config: Union[SystemConfig, str], mu_ratio: float,
                     intensities: Sequence[float],
                     label: Optional[str] = None) -> Series:
     """Exact Markov-chain delay curve (SBUS configurations)."""
     if isinstance(config, str):
         config = SystemConfig.parse(config)
-    points: List[SweepPoint] = []
-    for intensity in intensities:
-        workload = workload_at(intensity, mu_ratio, processors=config.processors)
-        try:
-            estimate = sbus_delay(config, workload)
-            points.append(SweepPoint(
-                intensity=intensity,
-                normalized_delay=estimate.mean_delay * workload.service_rate))
-        except UnstableSystemError:
-            points.append(SweepPoint(intensity=intensity, normalized_delay=None))
+    points = [analytic_point(config, mu_ratio, intensity)
+              for intensity in intensities]
     return Series(label=label or str(config), config=config, mu_ratio=mu_ratio,
                   points=tuple(points), method="markov-chain")
 
@@ -103,22 +109,40 @@ def simulated_series(config: Union[SystemConfig, str], mu_ratio: float,
     """
     if isinstance(config, str):
         config = SystemConfig.parse(config)
-    limit = saturation_guard * saturation_intensity(config, mu_ratio)
-    points: List[SweepPoint] = []
-    for intensity in intensities:
-        if intensity >= limit:
-            points.append(SweepPoint(intensity=intensity, normalized_delay=None))
-            continue
-        workload = workload_at(intensity, mu_ratio, processors=config.processors)
-        result = simulate(config, workload, horizon=horizon,
-                          warmup=horizon * warmup_fraction, seed=seed,
-                          arbitration=arbitration)
-        points.append(SweepPoint(
-            intensity=intensity,
-            normalized_delay=result.normalized_delay,
-            ci_halfwidth=result.delay_ci_halfwidth * workload.service_rate))
+    points = [simulated_point(config, mu_ratio, intensity, horizon=horizon,
+                              warmup_fraction=warmup_fraction, seed=seed,
+                              arbitration=arbitration,
+                              saturation_guard=saturation_guard)
+              for intensity in intensities]
     return Series(label=label or str(config), config=config, mu_ratio=mu_ratio,
                   points=tuple(points), method="event-simulation")
+
+
+def simulated_point(config: Union[SystemConfig, str], mu_ratio: float,
+                    intensity: float, horizon: float = 30_000.0,
+                    warmup_fraction: float = 0.1, seed: int = 1,
+                    arbitration: str = "priority",
+                    saturation_guard: float = 0.98) -> SweepPoint:
+    """One event-simulation delay point (the work unit of parallel sweeps).
+
+    This is deliberately a module-level function of plain picklable
+    arguments: the :mod:`repro.runner` process pool ships exactly this
+    computation to workers, and a parallel sweep must produce the same
+    point, bit for bit, as the serial loop in :func:`simulated_series`.
+    """
+    if isinstance(config, str):
+        config = SystemConfig.parse(config)
+    limit = saturation_guard * saturation_intensity(config, mu_ratio)
+    if intensity >= limit:
+        return SweepPoint(intensity=intensity, normalized_delay=None)
+    workload = workload_at(intensity, mu_ratio, processors=config.processors)
+    result = simulate(config, workload, horizon=horizon,
+                      warmup=horizon * warmup_fraction, seed=seed,
+                      arbitration=arbitration)
+    return SweepPoint(
+        intensity=intensity,
+        normalized_delay=result.normalized_delay,
+        ci_halfwidth=result.delay_ci_halfwidth * workload.service_rate)
 
 
 def series_for(config: Union[SystemConfig, str], mu_ratio: float,

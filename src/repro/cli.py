@@ -4,13 +4,17 @@ Commands:
 
 * ``list``       — show every registered experiment id;
 * ``experiment`` — regenerate one of the paper's tables/figures;
+* ``run``        — regenerate an experiment through the parallel sweep
+  runner: ``--jobs N`` fans figure points out over worker processes and
+  results are memoized in the content-addressed cache;
+* ``cache``      — inspect (``stats``) or empty (``clear``) that cache;
 * ``simulate``   — run one configuration at a load point;
 * ``solve``      — exact Markov-chain analysis of a shared bus;
 * ``recommend``  — the Table II advisor over the standard candidates;
 * ``blocking``   — the Section V blocking comparison;
 * ``faults``     — fault-injected run with availability report and the
   degraded-capacity prediction;
-* ``lint``       — the determinism lint (SIM001-SIM004) over the source
+* ``lint``       — the determinism lint (SIM001-SIM005) over the source
   tree, with ``--format json`` for CI.
 """
 
@@ -40,6 +44,33 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=["fast", "normal", "full"])
     experiment.add_argument("--plot", action="store_true",
                             help="draw delay figures as an ASCII chart")
+    experiment.add_argument("--jobs", type=int, default=None,
+                            help="worker processes for figure sweeps "
+                                 "(default: REPRO_JOBS or 1)")
+
+    run = commands.add_parser(
+        "run", help="regenerate an experiment via the parallel sweep runner")
+    run.add_argument("exp_id", help="experiment id (see 'list')")
+    run.add_argument("--quality", default="fast",
+                     choices=["fast", "normal", "full"])
+    run.add_argument("--jobs", type=int, default=None,
+                     help="worker processes (default: REPRO_JOBS or 1)")
+    run.add_argument("--seed", type=int, default=1,
+                     help="master seed for per-point replications")
+    run.add_argument("--cache-dir", default=None,
+                     help="result cache directory "
+                          "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="recompute every point, bypassing the cache")
+    run.add_argument("--plot", action="store_true",
+                     help="draw delay figures as an ASCII chart")
+
+    cache = commands.add_parser(
+        "cache", help="inspect or clear the sweep result cache")
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache directory "
+                            "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
 
     simulate = commands.add_parser(
         "simulate", help="simulate one configuration at a load point")
@@ -96,7 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--seed", type=int, default=1)
 
     lint = commands.add_parser(
-        "lint", help="determinism lint (SIM001-SIM004) over the source tree")
+        "lint", help="determinism lint (SIM001-SIM005) over the source tree")
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
     lint.add_argument("--format", dest="lint_format", default="text",
@@ -116,12 +147,64 @@ def _command_list(_args) -> int:
 
 def _command_experiment(args) -> int:
     from repro.experiments import FIGURE_SPECS, run_experiment
-    result = run_experiment(args.exp_id, quality=args.quality)
+    result = run_experiment(args.exp_id, quality=args.quality, jobs=args.jobs)
     print(result.report)
     if args.plot and args.exp_id in FIGURE_SPECS:
         from repro.experiments.render import render_series
         print()
         print(render_series(result.data, title=result.description))
+    return 0
+
+
+def _command_run(args) -> int:
+    import time
+
+    from repro.experiments import (
+        FIGURE_SPECS,
+        figure_series,
+        format_series_table,
+        run_experiment,
+    )
+    from repro.runner import ResultCache, SweepRunner
+
+    if args.exp_id not in FIGURE_SPECS:
+        # Non-figure experiments have no point decomposition (and nothing
+        # cacheable); run them through the registry with the jobs knob.
+        result = run_experiment(args.exp_id, quality=args.quality,
+                                jobs=args.jobs)
+        print(result.report)
+        return 0
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = SweepRunner(jobs=args.jobs, cache=cache)
+    start = time.perf_counter()
+    series = figure_series(args.exp_id, quality=args.quality, seed=args.seed,
+                           runner=runner)
+    elapsed = time.perf_counter() - start
+    title = f"{args.exp_id}: {FIGURE_SPECS[args.exp_id].title}"
+    print(format_series_table(series, title=title))
+    if args.plot:
+        from repro.experiments.render import render_series
+        print()
+        print(render_series(series, title=title))
+    outcomes = runner.last_outcomes
+    hits = sum(1 for outcome in outcomes if outcome.cached)
+    print()
+    print(f"{len(outcomes)} points in {elapsed:.2f}s "
+          f"({runner.effective_jobs} job(s), {hits} cache hit(s), "
+          f"cache {'off' if cache is None else cache.root})")
+    return 0
+
+
+def _command_cache(args) -> int:
+    from repro.runner import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    print(cache.stats().format())
     return 0
 
 
@@ -243,6 +326,8 @@ def _command_lint(args) -> int:
 _COMMANDS = {
     "list": _command_list,
     "experiment": _command_experiment,
+    "run": _command_run,
+    "cache": _command_cache,
     "simulate": _command_simulate,
     "solve": _command_solve,
     "recommend": _command_recommend,

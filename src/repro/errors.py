@@ -12,8 +12,9 @@ The hierarchy::
     │   └── FaultInjectionError fault injected against an impossible target
     ├── SchedulingError         network scheduler driven into impossible state
     │   └── RetryExhaustedError a severed/blocked request ran out of retries
-    └── AnalysisError           queueing/Markov analysis impossible
-        └── UnstableSystemError offered load at or beyond capacity
+    ├── AnalysisError           queueing/Markov analysis impossible
+    │   └── UnstableSystemError offered load at or beyond capacity
+    └── WorkerError             a sweep work unit failed in a pool worker
 
 :class:`FaultInjectionError` is a :class:`SimulationError` because a bad
 injection (failing a component that does not exist, repairing one that is
@@ -103,4 +104,24 @@ class UnstableSystemError(AnalysisError):
                 f"system is unstable: utilization {utilization:.4f} >= 1; "
                 "stationary delay does not exist"
             )
+        super().__init__(message)
+
+
+class WorkerError(ReproError):
+    """A work unit failed inside a sweep-runner worker process.
+
+    Worker exceptions cannot cross the process boundary intact (tracebacks
+    are not picklable), so :mod:`repro.runner` marshals them as text and
+    re-raises them in the parent as this type, carrying the work-unit
+    digest and the remote traceback.
+    """
+
+    def __init__(self, digest: str, remote_traceback: str,
+                 message: str | None = None):
+        self.digest = digest
+        self.remote_traceback = remote_traceback
+        if message is None:
+            summary = remote_traceback.strip().splitlines()[-1] \
+                if remote_traceback.strip() else "unknown error"
+            message = f"work unit {digest[:12]} failed in worker: {summary}"
         super().__init__(message)

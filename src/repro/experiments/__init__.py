@@ -9,6 +9,7 @@ from repro.experiments.figures import (
     cycle_time_comparison,
     fig11_example,
     figure_series,
+    figure_work_units,
     intensity_grid,
     sec2_mapping_example,
     sec6_comparison,
@@ -31,6 +32,7 @@ __all__ = [
     "FIGURE_SPECS",
     "QUALITY_PRESETS",
     "figure_series",
+    "figure_work_units",
     "intensity_grid",
     "fig11_example",
     "FIG11_EXPECTED_AVERAGE_HOPS",

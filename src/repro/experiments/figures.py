@@ -17,12 +17,11 @@ from repro.analysis.blocking import blocking_comparison, full_permutation_blocki
 from repro.analysis.selection import (
     CostModel,
     CostRegime,
-    NetworkClass,
     classify,
     qualitative_recommendation,
     recommend,
 )
-from repro.analysis.sweep import Series, series_for, workload_at
+from repro.analysis.sweep import Series, workload_at
 from repro.config import SystemConfig
 from repro.core.scheduler import (
     centralized_multistage,
@@ -102,10 +101,24 @@ def intensity_grid(step: float, start: float = 0.1, stop: float = 1.2) -> List[f
     return grid
 
 
-def figure_series(exp_id: str, quality: str = "fast",
-                  intensities: Optional[Sequence[float]] = None,
-                  seed: int = 1) -> List[Series]:
-    """Materialize every curve of a delay figure."""
+def figure_work_units(exp_id: str, quality: str = "fast",
+                      intensities: Optional[Sequence[float]] = None,
+                      seed: int = 1):
+    """Decompose a delay figure into independent work units.
+
+    Returns ``(spec, grid, units)`` where ``units`` holds one
+    :class:`~repro.runner.workunit.WorkUnit` per (curve, intensity) point,
+    in curve-major order.  Simulated points each get an independent seed
+    derived from the master ``seed`` via :func:`repro.sim.rng.spawn_seed`
+    keyed on the configuration triplet and the intensity, so every point is
+    its own replication instead of reusing one seed across the whole
+    figure.  Analytic (SBUS) points carry seed 0 — the exact chain draws no
+    randomness, and a fixed seed lets cached points be shared across master
+    seeds.
+    """
+    from repro.runner import WorkUnit
+    from repro.sim.rng import spawn_seed
+
     spec = FIGURE_SPECS.get(exp_id)
     if spec is None:
         raise ConfigurationError(
@@ -115,10 +128,57 @@ def figure_series(exp_id: str, quality: str = "fast",
             f"unknown quality {quality!r}; expected one of {sorted(QUALITY_PRESETS)}")
     step, horizon = QUALITY_PRESETS[quality]
     grid = list(intensities) if intensities is not None else intensity_grid(step)
-    series = []
+    units = []
     for label, triplet in spec.curves:
-        series.append(series_for(triplet, spec.mu_ratio, grid, label=label,
-                                 horizon=horizon, seed=seed))
+        config = SystemConfig.parse(triplet)
+        for intensity in grid:
+            if config.network_type == "SBUS":
+                units.append(WorkUnit("analytic-point", 0, {
+                    "config": triplet,
+                    "mu_ratio": spec.mu_ratio,
+                    "intensity": intensity,
+                }))
+            else:
+                units.append(WorkUnit(
+                    "sweep-point",
+                    spawn_seed(seed, triplet, intensity),
+                    {
+                        "config": triplet,
+                        "mu_ratio": spec.mu_ratio,
+                        "intensity": intensity,
+                        "horizon": horizon,
+                    }))
+    return spec, grid, units
+
+
+def figure_series(exp_id: str, quality: str = "fast",
+                  intensities: Optional[Sequence[float]] = None,
+                  seed: int = 1, jobs: Optional[int] = None,
+                  runner=None) -> List[Series]:
+    """Materialize every curve of a delay figure.
+
+    Points are independent seeded work units executed through a
+    :class:`~repro.runner.SweepRunner` — serially by default, fanned out
+    over processes with ``jobs`` (or the ``REPRO_JOBS`` environment
+    variable), and memoized when the runner carries a result cache.  The
+    assembled series are identical whatever the worker count.
+    """
+    from repro.runner import SweepRunner
+
+    spec, grid, units = figure_work_units(exp_id, quality=quality,
+                                          intensities=intensities, seed=seed)
+    if runner is None:
+        runner = SweepRunner(jobs=jobs)
+    points = runner.run_values(units)
+    series = []
+    for index, (label, triplet) in enumerate(spec.curves):
+        config = SystemConfig.parse(triplet)
+        curve_points = points[index * len(grid):(index + 1) * len(grid)]
+        method = ("markov-chain" if config.network_type == "SBUS"
+                  else "event-simulation")
+        series.append(Series(label=label, config=config,
+                             mu_ratio=spec.mu_ratio,
+                             points=tuple(curve_points), method=method))
     return series
 
 

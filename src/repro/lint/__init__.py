@@ -16,10 +16,21 @@ demands of this codebase:
   :class:`~repro.sim.environment.Environment` API.
 * **SIM004** — ``*Config`` dataclasses must define ``__post_init__`` so
   units and ranges are validated at construction, not discovered mid-run.
+* **SIM005** — callables handed to ``<pool>.submit`` / ``<pool>.map``
+  must be module-level functions; lambdas and closures cannot be pickled
+  across the process boundary and only fail at runtime inside the pool.
 
 Findings carry ``file:line:column`` positions, can be suppressed per line
 with ``# lint: disable=SIM001`` (comma-separated lists allowed), and are
 emitted as text or JSON (``repro lint --format json``) for CI.
+
+Multiprocessing entry points are intentionally exempt from extra policing:
+a module that spawns a process pool must guard its executable statements
+behind ``if __name__ == "__main__":`` (or only spawn pools from inside
+functions, as :mod:`repro.runner.pool` does) so the ``spawn`` start method
+can re-import it without side effects.  The lint engine parses files
+without importing them, so guarded ``__main__`` blocks are analysed like
+any other code and need no suppression comments.
 """
 
 from repro.lint.engine import (

@@ -1,4 +1,4 @@
-"""The project's determinism lint rules (SIM001-SIM004).
+"""The project's determinism lint rules (SIM001-SIM005).
 
 Each rule encodes one invariant the fault-injection replay guarantee
 (PR 1) leans on: zero-rate fault configurations must reproduce healthy
@@ -202,12 +202,80 @@ class ConfigValidation(LintRule):
                     "validate units/ranges at construction time")
 
 
+class PicklableWorkers(LintRule):
+    """SIM005: functions submitted to a process pool must be picklable.
+
+    A ``ProcessPoolExecutor`` ships the submitted callable to workers by
+    *qualified name*: lambdas and functions defined inside another function
+    cannot be pickled and fail only at runtime, inside the pool, with an
+    opaque error.  This rule flags ``<pool>.submit(fn, ...)`` and
+    ``<pool>.map(fn, ...)`` calls — where the receiver's name mentions
+    ``pool`` or ``executor`` — whose callable argument is a lambda or a
+    nested function.  Workers belong at module level (see
+    ``repro.runner.pool._execute_payload``).
+    """
+
+    code = "SIM005"
+    summary = ("pool.submit/map workers must be module-level functions "
+               "(no lambdas or closures; they cannot be pickled)")
+
+    _POOL_METHODS = frozenset({"submit", "map"})
+    _POOL_HINTS = ("pool", "executor")
+
+    @classmethod
+    def _is_pool_receiver(cls, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        else:
+            return False
+        lowered = name.lower()
+        return any(hint in lowered for hint in cls._POOL_HINTS)
+
+    @staticmethod
+    def _nested_function_names(tree: ast.Module) -> frozenset:
+        """Names of functions defined inside another function."""
+        nested = set()
+        for outer in ast.walk(tree):
+            if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for inner in ast.walk(outer):
+                if inner is outer:
+                    continue
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested.add(inner.name)
+        return frozenset(nested)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Tuple[ast.AST, str]]:
+        nested = self._nested_function_names(tree)
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._POOL_METHODS
+                    and self._is_pool_receiver(node.func.value)
+                    and node.args):
+                continue
+            worker = node.args[0]
+            if isinstance(worker, ast.Lambda):
+                yield node, (
+                    f"lambda submitted to {node.func.attr}(): pool workers "
+                    "are pickled by qualified name — define a module-level "
+                    "function instead")
+            elif isinstance(worker, ast.Name) and worker.id in nested:
+                yield node, (
+                    f"nested function {worker.id!r} submitted to "
+                    f"{node.func.attr}(): closures cannot be pickled — "
+                    "move the worker to module level")
+
+
 #: Rule instances applied by default, in reporting order.
 DEFAULT_RULES: List[LintRule] = [
     NoUnseededRandom(),
     NoWallClock(),
     KernelEncapsulation(),
     ConfigValidation(),
+    PicklableWorkers(),
 ]
 
 #: Lookup by ``SIMxxx`` code, for the CLI's rule listing.

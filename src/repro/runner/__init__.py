@@ -1,0 +1,57 @@
+"""Parallel sweep execution: work units, process pool, result cache.
+
+The paper's figures are sweeps of independent seeded simulations — an
+embarrassingly parallel shape.  This package decomposes sweeps into
+content-addressed :class:`WorkUnit` objects, fans them out over a
+:class:`SweepRunner` process pool, and memoizes results in an on-disk
+:class:`ResultCache`, with the contract that parallel results are
+byte-identical to serial results for the same seeds.
+
+Quick start::
+
+    from repro.experiments import figure_series
+    from repro.runner import ResultCache, SweepRunner
+
+    runner = SweepRunner(jobs=8, cache=ResultCache())   # ~/.cache/repro
+    series = figure_series("fig7", quality="fast", runner=runner)
+"""
+
+from repro.runner.cache import (
+    CACHE_DIR_ENV,
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+)
+from repro.runner.evaluators import EVALUATORS, evaluator, get_evaluator
+from repro.runner.pool import (
+    JOBS_ENV,
+    SweepRunner,
+    UnitOutcome,
+    resolve_jobs,
+)
+from repro.runner.workunit import (
+    CACHE_SCHEMA_VERSION,
+    WorkUnit,
+    canonical_params,
+    code_version,
+    work_unit_digest,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "EVALUATORS",
+    "JOBS_ENV",
+    "ResultCache",
+    "SweepRunner",
+    "UnitOutcome",
+    "WorkUnit",
+    "canonical_params",
+    "code_version",
+    "default_cache_dir",
+    "evaluator",
+    "get_evaluator",
+    "resolve_jobs",
+    "work_unit_digest",
+]

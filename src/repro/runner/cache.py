@@ -1,0 +1,125 @@
+"""Content-addressed on-disk result cache for sweep work units.
+
+Results are stored one file per work-unit digest under a two-level fan-out
+(``<root>/ab/abcdef....pkl``), so re-running a figure at the same quality is
+a pure cache hit and a changed configuration, seed, or code version misses
+naturally (the digest covers all three — see
+:mod:`repro.runner.workunit`).
+
+The cache root resolves, in order: an explicit ``cache_dir`` argument, the
+``REPRO_CACHE_DIR`` environment variable, then ``~/.cache/repro``.  Values
+are arbitrary picklable Python objects (``SweepPoint``, floats, result
+dataclasses); writes are atomic (temp file + ``os.replace``) so a killed
+run never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_SUFFIX = ".pkl"
+
+
+def default_cache_dir() -> Path:
+    """The cache root used when no explicit directory is given."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of the on-disk cache plus this session's hit counters."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    session_hits: int
+    session_misses: int
+
+    def format(self) -> str:
+        """Human-readable report for ``repro cache stats``."""
+        return "\n".join([
+            f"cache root    : {self.root}",
+            f"entries       : {self.entries}",
+            f"total size    : {self.total_bytes / 1024:.1f} KiB",
+            f"session hits  : {self.session_hits}",
+            f"session misses: {self.session_misses}",
+        ])
+
+
+class ResultCache:
+    """Digest-keyed pickle store with session hit/miss accounting."""
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None):
+        self.root = (Path(cache_dir).expanduser() if cache_dir is not None
+                     else default_cache_dir())
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}{_SUFFIX}"
+
+    def get(self, digest: str) -> Tuple[bool, Any]:
+        """``(hit, value)`` for ``digest``; a corrupt entry counts as a miss."""
+        path = self._path(digest)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, digest: str, value: Any) -> None:
+        """Store ``value`` under ``digest`` (atomic replace)."""
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_suffix(f"{_SUFFIX}.tmp{os.getpid()}")
+        with temporary.open("wb") as handle:
+            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temporary, path)
+
+    def stats(self) -> CacheStats:
+        """Walk the cache directory and summarize it."""
+        entries = 0
+        total_bytes = 0
+        if self.root.is_dir():
+            for path in self.root.rglob(f"*{_SUFFIX}"):
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:  # pragma: no cover - racing deletion
+                    continue
+                entries += 1
+        return CacheStats(root=str(self.root), entries=entries,
+                          total_bytes=total_bytes, session_hits=self.hits,
+                          session_misses=self.misses)
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.rglob(f"*{_SUFFIX}"):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+            removed += 1
+        for child in sorted(self.root.rglob("*"), reverse=True):
+            if child.is_dir():
+                try:
+                    child.rmdir()
+                except OSError:
+                    pass
+        return removed

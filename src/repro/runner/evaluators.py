@@ -1,0 +1,87 @@
+"""The evaluator registry: what a work unit actually computes.
+
+Evaluators are module-level functions of ``(seed, params)`` — the shape the
+process pool requires (workers unpickle the function by qualified name, so
+lambdas and closures cannot cross the boundary; lint rule SIM005 enforces
+this for every pool call site).  Each evaluator re-derives its inputs from
+the JSON-safe ``params`` mapping, runs one independent seeded computation,
+and returns a picklable result.
+
+Registered evaluators:
+
+* ``sweep-point``        — one event-simulation figure point (``SweepPoint``);
+* ``analytic-point``     — one exact Markov-chain figure point (``SweepPoint``);
+* ``replication-delay``  — one replication's mean queueing delay (``float``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping
+
+from repro.errors import ConfigurationError
+
+Evaluator = Callable[[int, Mapping[str, Any]], Any]
+
+#: Evaluator functions by id; workers resolve work units against this table.
+EVALUATORS: Dict[str, Evaluator] = {}
+
+
+def evaluator(evaluator_id: str) -> Callable[[Evaluator], Evaluator]:
+    """Register a module-level function as the evaluator ``evaluator_id``."""
+
+    def register(function: Evaluator) -> Evaluator:
+        if evaluator_id in EVALUATORS:
+            raise ConfigurationError(
+                f"evaluator {evaluator_id!r} registered twice")
+        EVALUATORS[evaluator_id] = function
+        return function
+
+    return register
+
+
+def get_evaluator(evaluator_id: str) -> Evaluator:
+    """Look up an evaluator, with a helpful error for unknown ids."""
+    function = EVALUATORS.get(evaluator_id)
+    if function is None:
+        raise ConfigurationError(
+            f"unknown evaluator {evaluator_id!r}; "
+            f"expected one of {sorted(EVALUATORS)}")
+    return function
+
+
+@evaluator("sweep-point")
+def sweep_point(seed: int, params: Mapping[str, Any]):
+    """One simulated delay point; params mirror ``simulated_point``."""
+    from repro.analysis.sweep import simulated_point
+
+    return simulated_point(
+        params["config"], params["mu_ratio"], params["intensity"],
+        horizon=params["horizon"],
+        warmup_fraction=params.get("warmup_fraction", 0.1),
+        seed=seed,
+        arbitration=params.get("arbitration", "priority"),
+        saturation_guard=params.get("saturation_guard", 0.98))
+
+
+@evaluator("analytic-point")
+def analytic_point(seed: int, params: Mapping[str, Any]):
+    """One exact SBUS delay point (the seed is irrelevant and ignored)."""
+    from repro.analysis.sweep import analytic_point as exact_point
+
+    return exact_point(params["config"], params["mu_ratio"],
+                       params["intensity"])
+
+
+@evaluator("replication-delay")
+def replication_delay(seed: int, params: Mapping[str, Any]) -> float:
+    """Mean queueing delay of one independent replication."""
+    from repro.core.system import simulate
+    from repro.workload.arrivals import Workload
+
+    workload = Workload(arrival_rate=params["arrival_rate"],
+                        transmission_rate=params["transmission_rate"],
+                        service_rate=params["service_rate"])
+    result = simulate(params["config"], workload, horizon=params["horizon"],
+                      warmup=params["warmup"], seed=seed,
+                      arbitration=params.get("arbitration", "priority"))
+    return result.mean_queueing_delay

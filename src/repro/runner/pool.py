@@ -1,0 +1,176 @@
+"""Process-pool fan-out for embarrassingly parallel sweep work.
+
+Every figure point and replication is an independent seeded simulation, so
+a sweep decomposes into :class:`~repro.runner.workunit.WorkUnit` objects
+that can run in any order on any worker — the only requirement is that the
+assembled results are byte-identical to the serial loop's.  The runner
+guarantees that by construction: units are pure functions of their digest
+material, results are reassembled in submission order, and the single-job
+path executes inline with no pool at all.
+
+Worker exceptions cannot cross the process boundary intact, so the worker
+wrapper catches everything, marshals the traceback as text, and the parent
+re-raises it as :class:`~repro.errors.WorkerError`.
+
+Important: spawning workers re-imports the calling module on some
+platforms, so scripts that drive a :class:`SweepRunner` must guard their
+entry point with ``if __name__ == "__main__":`` (see :mod:`repro.lint`).
+"""
+
+from __future__ import annotations
+
+import os
+import time  # lint: disable=SIM002 - wall time of workers, not simulated time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError, WorkerError
+from repro.runner.cache import ResultCache
+from repro.runner.evaluators import get_evaluator
+from repro.runner.workunit import WorkUnit
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``REPRO_JOBS``, else 1.
+
+    The default is deliberately serial — parallelism is an opt-in knob, and
+    the serial path is the reference the parallel path must reproduce.
+    """
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{JOBS_ENV} must be an integer, got {env!r}") from None
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclass(frozen=True)
+class UnitOutcome:
+    """The result of one work unit, with provenance.
+
+    ``wall_time`` is the worker-side execution time in seconds (0.0 for a
+    cache hit); ``error`` carries the marshalled worker traceback when the
+    evaluator raised.
+    """
+
+    unit: WorkUnit
+    value: Any
+    wall_time: float
+    cached: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _execute_payload(payload: Tuple[str, int, dict, str]) -> Tuple[str, Any, Optional[str], float]:
+    """Run one unit in a worker: ``(digest, value, error, wall_time)``.
+
+    Module-level on purpose (workers unpickle it by qualified name; SIM005).
+    All exceptions — including evaluator-lookup failures — are marshalled
+    as traceback text so one bad unit cannot poison the pool.
+    """
+    evaluator_id, seed, params, digest = payload
+    start = time.perf_counter()
+    try:
+        value = get_evaluator(evaluator_id)(seed, params)
+    except BaseException:
+        return digest, None, traceback.format_exc(), time.perf_counter() - start
+    return digest, value, None, time.perf_counter() - start
+
+
+class SweepRunner:
+    """Fan a batch of work units out over processes, through a cache.
+
+    * ``jobs`` — worker count (``None`` defers to ``REPRO_JOBS``, then 1);
+    * ``cache`` — a :class:`ResultCache`, a directory path for one, or
+      ``None`` to disable caching;
+    * ``chunk_size`` — units per pool task (``None`` picks a chunking that
+      amortizes IPC over ~4 chunks per worker).
+
+    ``run`` returns outcomes in submission order regardless of completion
+    order, so serial and parallel execution assemble identical series.  The
+    outcomes of the most recent ``run`` stay on :attr:`last_outcomes` for
+    callers that want per-point wall times after a higher-level API (for
+    example ``figure_series``) has reduced the values.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Union[ResultCache, os.PathLike, str, None] = None,
+                 chunk_size: Optional[int] = None):
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}")
+        self.jobs = jobs
+        self.cache = (ResultCache(cache)
+                      if isinstance(cache, (str, os.PathLike)) else cache)
+        self.chunk_size = chunk_size
+        self.last_outcomes: List[UnitOutcome] = []
+
+    @property
+    def effective_jobs(self) -> int:
+        """The worker count a ``run`` call would use right now."""
+        return resolve_jobs(self.jobs)
+
+    def run(self, units: Sequence[WorkUnit],
+            raise_on_error: bool = True) -> List[UnitOutcome]:
+        """Execute ``units``; outcomes come back in submission order."""
+        jobs = resolve_jobs(self.jobs)
+        outcomes: List[Optional[UnitOutcome]] = [None] * len(units)
+
+        pending: List[Tuple[int, WorkUnit]] = []
+        for index, unit in enumerate(units):
+            if self.cache is not None:
+                hit, value = self.cache.get(unit.config_digest)
+                if hit:
+                    outcomes[index] = UnitOutcome(unit=unit, value=value,
+                                                  wall_time=0.0, cached=True)
+                    continue
+            pending.append((index, unit))
+
+        if pending:
+            payloads = [unit.payload() for _index, unit in pending]
+            if jobs == 1 or len(pending) == 1:
+                raw = map(_execute_payload, payloads)
+            else:
+                raw = self._run_pool(payloads, jobs)
+            for (index, unit), (digest, value, error, wall) in zip(pending, raw):
+                outcome = UnitOutcome(unit=unit, value=value, wall_time=wall,
+                                      error=error)
+                outcomes[index] = outcome
+                if error is None and self.cache is not None:
+                    self.cache.put(digest, value)
+
+        final = [outcome for outcome in outcomes if outcome is not None]
+        self.last_outcomes = final
+        if raise_on_error:
+            for outcome in final:
+                if outcome.error is not None:
+                    raise WorkerError(outcome.unit.config_digest, outcome.error)
+        return final
+
+    def run_values(self, units: Sequence[WorkUnit]) -> List[Any]:
+        """Execute ``units`` and return just the values, in order."""
+        return [outcome.value for outcome in self.run(units)]
+
+    def _run_pool(self, payloads: List[tuple], jobs: int):
+        """Chunked executor.map over the payloads (order-preserving)."""
+        workers = min(jobs, len(payloads))
+        chunk = self.chunk_size
+        if chunk is None:
+            chunk = max(1, len(payloads) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            yield from executor.map(_execute_payload, payloads,
+                                    chunksize=chunk)

@@ -29,7 +29,7 @@ from repro.sim.events import (
 from repro.sim.monitor import Trace, TraceRecord
 from repro.sim.process import Process
 from repro.sim.resources import SimResource, SimStore
-from repro.sim.rng import RandomStreams, RngStream
+from repro.sim.rng import RandomStreams, RngStream, spawn_seed
 from repro.sim.sanitizer import (
     RaceConditionDetected,
     RaceFinding,
@@ -56,6 +56,7 @@ __all__ = [
     "SimStore",
     "RandomStreams",
     "RngStream",
+    "spawn_seed",
     "TieSanitizer",
     "RaceFinding",
     "RaceConditionDetected",

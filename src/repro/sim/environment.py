@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -52,6 +52,9 @@ class Environment:
     is the plain fast path (a single ``is None`` test per step).
     """
 
+    __slots__ = ("_now", "_queue", "_sequence", "_active_process",
+                 "max_queue_length", "sanitizer")
+
     def __init__(self, initial_time: float = 0.0,
                  max_queue_length: Optional[int] = DEFAULT_MAX_QUEUE_LENGTH,
                  sanitizer: Optional["TieSanitizer"] = None):
@@ -87,7 +90,7 @@ class Environment:
     def timeout(self, delay: float, value: Any = None,
                 priority: int = PRIORITY_NORMAL) -> Timeout:
         """Create an event that fires ``delay`` time units from now."""
-        return Timeout(self, delay, value=value, priority=priority)
+        return Timeout(self, delay, value, priority)
 
     def any_of(self, events: Iterable[Event]) -> Condition:
         """Event that fires when any of ``events`` fires."""
@@ -109,16 +112,17 @@ class Environment:
         """Insert ``event`` into the queue ``delay`` units from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        if (self.max_queue_length is not None
-                and len(self._queue) >= self.max_queue_length):
+        queue = self._queue
+        limit = self.max_queue_length
+        if limit is not None and len(queue) >= limit:
             raise SimulationError(
-                f"event queue exceeded max_queue_length={self.max_queue_length} "
+                f"event queue exceeded max_queue_length={limit} "
                 f"at t={self._now}: the model is scheduling events faster than "
                 "it drains them (livelock guard; raise max_queue_length if the "
                 "backlog is intended)")
-        heapq.heappush(self._queue,
-                       (self._now + delay, priority, self._sequence, event))
-        self._sequence += 1
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        heappush(queue, (self._now + delay, priority, sequence, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -131,7 +135,7 @@ class Environment:
         if self.sanitizer is not None:
             self._step_sanitized()
             return
-        time, _priority, _seq, event = heapq.heappop(self._queue)
+        time, _priority, _seq, event = heappop(self._queue)
         if time < self._now:
             raise SimulationError("event queue corrupted: time moved backwards")
         self._now = time
@@ -140,12 +144,12 @@ class Environment:
     # -- sanitizer mode ----------------------------------------------------
     def _pop_tie_batch(self) -> List[QueueEntry]:
         """Pop the head entry plus every entry tied with it on (time, priority)."""
-        first = QueueEntry._make(heapq.heappop(self._queue))
+        first = QueueEntry._make(heappop(self._queue))
         batch = [first]
         while (self._queue
                and self._queue[0][0] == first.time
                and self._queue[0][1] == first.priority):
-            batch.append(QueueEntry._make(heapq.heappop(self._queue)))
+            batch.append(QueueEntry._make(heappop(self._queue)))
         return batch
 
     def _step_sanitized(self) -> None:
@@ -231,10 +235,56 @@ class Environment:
                 raise SimulationError(
                     f"run(until={until}) is in the past (now={self._now})"
                 )
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                break
-            self.step()
+        if self.sanitizer is not None:
+            while self._queue:
+                if until is not None and self._queue[0][0] > until:
+                    break
+                self.step()
+        else:
+            # Hot path: the heap, the pop, and the clock are bound to locals
+            # so each step costs one tuple pop and one callback dispatch
+            # instead of a method call plus repeated attribute lookups.
+            # schedule() only ever mutates the queue list in place, so the
+            # local binding stays valid across callbacks.
+            # Callback dispatch is inlined (the body of
+            # Event._run_callbacks) to drop one frame per event; the two
+            # must stay in lockstep.
+            queue = self._queue
+            pop = heappop
+            if until is None:
+                while queue:
+                    time, _priority, _seq, event = pop(queue)
+                    if time < self._now:
+                        raise SimulationError(
+                            "event queue corrupted: time moved backwards")
+                    self._now = time
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    if callbacks:
+                        if len(callbacks) == 1:
+                            callbacks[0](event)
+                        else:
+                            for callback in callbacks:
+                                callback(event)
+            else:
+                while queue:
+                    if queue[0][0] > until:
+                        break
+                    time, _priority, _seq, event = pop(queue)
+                    if time < self._now:
+                        raise SimulationError(
+                            "event queue corrupted: time moved backwards")
+                    self._now = time
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    if callbacks:
+                        if len(callbacks) == 1:
+                            callbacks[0](event)
+                        else:
+                            for callback in callbacks:
+                                callback(event)
         if until is not None:
             self._now = max(self._now, until)
 

@@ -13,6 +13,7 @@ scratch because no simulation package is available in this environment.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, List, NamedTuple, Optional
 
 from repro.errors import SimulationError
@@ -122,8 +123,13 @@ class Event:
         callbacks, self.callbacks = self.callbacks, None
         self._processed = True
         if callbacks:
-            for callback in callbacks:
-                callback(self)
+            # One registered callback is by far the common case (a process
+            # waiting on its own timeout); dispatch it without the loop.
+            if len(callbacks) == 1:
+                callbacks[0](self)
+            else:
+                for callback in callbacks:
+                    callback(self)
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Attach ``callback`` to run when the event is processed.
@@ -151,11 +157,27 @@ class Timeout(Event):
                  priority: int = PRIORITY_NORMAL):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
+        # Timeouts are the kernel's unit of work and are constructed once per
+        # simulated transmission/service/arrival; Event.__init__ is flattened
+        # here (it would write _value and _triggered twice and cost an extra
+        # frame on a path executed millions of times per sweep).
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._exception = None
         self._triggered = True
-        env.schedule(self, delay=delay, priority=priority)
+        self._processed = False
+        self.delay = delay
+        # Inlined Environment.schedule (delay is already known non-negative);
+        # the cold livelock-guard path delegates back for the full message.
+        queue = env._queue
+        limit = env.max_queue_length
+        if limit is not None and len(queue) >= limit:
+            env.schedule(self, delay=delay, priority=priority)
+            return
+        sequence = env._sequence
+        env._sequence = sequence + 1
+        heappush(queue, (env._now + delay, priority, sequence, self))
 
 
 class Condition(Event):

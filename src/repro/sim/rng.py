@@ -18,6 +18,21 @@ import random  # lint: disable=SIM001 - the one sanctioned import site
 from typing import Any, Dict, Sequence, Tuple
 
 
+def spawn_seed(master_seed: int, *keys: object) -> int:
+    """Derive an independent 64-bit child seed from a master seed and keys.
+
+    The derivation hashes the master seed together with the string forms of
+    ``keys`` (a figure id, a configuration triplet, an intensity, …), so
+    every distinct key path gets a statistically independent stream while
+    staying a pure function of its inputs — the property the parallel sweep
+    runner's content-addressed cache relies on.  This is the spawn-key
+    scheme of :meth:`RandomStreams.spawn` exposed for flat, keyed use.
+    """
+    material = "/".join([str(int(master_seed))] + [str(key) for key in keys])
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class RngStream(random.Random):
     """A named, seeded random stream.
 

@@ -135,6 +135,70 @@ class TestSim004ConfigValidation:
         assert lint_source(source, "pkg/module.py") == []
 
 
+class TestSim005PicklableWorkers:
+    def test_lambda_submitted_to_pool_flagged(self):
+        source = textwrap.dedent("""\
+            def fan_out(pool, items):
+                return [pool.submit(lambda x: x + 1, item) for item in items]
+            """)
+        findings = lint_source(source, "pkg/module.py")
+        assert _codes(findings) == ["SIM005"]
+        assert "lambda" in findings[0].message
+
+    def test_lambda_mapped_over_executor_flagged(self):
+        source = textwrap.dedent("""\
+            def fan_out(executor, items):
+                return list(executor.map(lambda x: x + 1, items))
+            """)
+        assert _codes(lint_source(source, "pkg/module.py")) == ["SIM005"]
+
+    def test_nested_function_submitted_flagged(self):
+        source = textwrap.dedent("""\
+            def fan_out(pool, items):
+                def worker(item):
+                    return item + 1
+
+                return [pool.submit(worker, item) for item in items]
+            """)
+        findings = lint_source(source, "pkg/module.py")
+        assert _codes(findings) == ["SIM005"]
+        assert "worker" in findings[0].message
+
+    def test_module_level_worker_clean(self):
+        source = textwrap.dedent("""\
+            def worker(item):
+                return item + 1
+
+
+            def fan_out(pool, items):
+                return [pool.submit(worker, item) for item in items]
+            """)
+        assert lint_source(source, "pkg/module.py") == []
+
+    def test_attribute_pool_receiver_flagged(self):
+        source = textwrap.dedent("""\
+            def fan_out(self, items):
+                return [self.pool.submit(lambda x: x, item) for item in items]
+            """)
+        assert _codes(lint_source(source, "pkg/module.py")) == ["SIM005"]
+
+    def test_non_pool_receivers_ignored(self):
+        source = textwrap.dedent("""\
+            def transform(items):
+                return list(map(lambda x: x + 1, items))
+
+
+            def submit_form(client):
+                return client.submit(lambda: None)
+            """)
+        assert lint_source(source, "pkg/module.py") == []
+
+    def test_suppression_comment_silences(self):
+        source = ("def f(pool):\n"
+                  "    return pool.submit(lambda: 1)  # lint: disable=SIM005\n")
+        assert lint_source(source, "pkg/module.py") == []
+
+
 class TestEngine:
     def test_syntax_error_becomes_finding(self):
         findings = lint_source("def broken(:\n", "pkg/module.py")
@@ -163,7 +227,8 @@ class TestEngine:
         assert payload["tool"] == "repro-lint"
 
     def test_rule_catalogue_complete(self):
-        assert sorted(RULES_BY_CODE) == ["SIM001", "SIM002", "SIM003", "SIM004"]
+        assert sorted(RULES_BY_CODE) == [
+            "SIM001", "SIM002", "SIM003", "SIM004", "SIM005"]
         assert all(rule.summary for rule in DEFAULT_RULES)
 
     def test_missing_target_raises(self):
@@ -219,5 +284,5 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("SIM001", "SIM002", "SIM003", "SIM004"):
+        for code in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005"):
             assert code in out

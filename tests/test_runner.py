@@ -1,0 +1,260 @@
+"""Tests for the parallel sweep runner (repro.runner).
+
+The runner's contract is the determinism of the whole PR: parallel
+execution must be byte-identical to serial, the cache must hit exactly
+when the causal inputs are unchanged, worker failures must surface as
+real tracebacks, and the wave-based replication procedure must reproduce
+the sequential stopping rule bit for bit.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkerError
+from repro.experiments import figure_series, figure_work_units
+from repro.runner import (
+    ResultCache,
+    SweepRunner,
+    UnitOutcome,
+    WorkUnit,
+    resolve_jobs,
+    work_unit_digest,
+)
+from repro.runner.evaluators import evaluator
+from repro.sim import spawn_seed
+from repro.workload.arrivals import Workload
+
+#: Deliberately failing evaluator, registered at import (module level so
+#: pool workers can unpickle it; SIM005).
+@evaluator("test-explode")
+def _explode(seed, params):
+    raise ValueError(f"boom from seed {seed}")
+
+
+@evaluator("test-square")
+def _square(seed, params):
+    return params["x"] ** 2 + seed
+
+
+def _square_units(count, seed=0):
+    return [WorkUnit("test-square", seed, {"x": x}) for x in range(count)]
+
+
+class TestWorkUnit:
+    def test_digest_is_stable_across_key_order(self):
+        first = work_unit_digest("sweep-point", 3, {"a": 1, "b": 2})
+        second = work_unit_digest("sweep-point", 3, {"b": 2, "a": 1})
+        assert first == second
+
+    def test_digest_changes_with_each_component(self):
+        base = work_unit_digest("sweep-point", 3, {"a": 1})
+        assert work_unit_digest("analytic-point", 3, {"a": 1}) != base
+        assert work_unit_digest("sweep-point", 4, {"a": 1}) != base
+        assert work_unit_digest("sweep-point", 3, {"a": 2}) != base
+
+    def test_unit_computes_and_pins_digest(self):
+        unit = WorkUnit("sweep-point", 3, {"a": 1})
+        assert unit.config_digest == work_unit_digest("sweep-point", 3,
+                                                      {"a": 1})
+        with pytest.raises(ConfigurationError):
+            WorkUnit("sweep-point", 3, {"a": 1}, config_digest="deadbeef")
+
+    def test_params_are_read_only(self):
+        unit = WorkUnit("sweep-point", 3, {"a": 1})
+        with pytest.raises(TypeError):
+            unit.params["a"] = 2
+
+    def test_non_json_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkUnit("sweep-point", 3, {"a": object()})
+
+    def test_payload_round_trips_through_pickle(self):
+        unit = WorkUnit("sweep-point", 3, {"a": 1})
+        payload = pickle.loads(pickle.dumps(unit.payload()))
+        assert payload == ("sweep-point", 3, {"a": 1}, unit.config_digest)
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+
+    def test_env_var_supplies_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs() == 3
+        assert resolve_jobs(2) == 2  # explicit argument wins
+
+    def test_bad_values_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigurationError):
+            resolve_jobs()
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(0)
+
+
+class TestSweepRunner:
+    def test_serial_and_parallel_results_identical(self):
+        units = _square_units(9)
+        serial = SweepRunner(jobs=1).run_values(units)
+        parallel = SweepRunner(jobs=3).run_values(units)
+        assert serial == parallel == [x ** 2 for x in range(9)]
+
+    def test_outcomes_come_back_in_submission_order(self):
+        units = _square_units(7)
+        outcomes = SweepRunner(jobs=2).run(units)
+        assert [o.unit.config_digest for o in outcomes] == [
+            u.config_digest for u in units]
+        assert all(isinstance(o, UnitOutcome) and o.ok and not o.cached
+                   for o in outcomes)
+        assert all(o.wall_time >= 0.0 for o in outcomes)
+
+    def test_worker_exception_carries_remote_traceback(self):
+        units = [WorkUnit("test-square", 0, {"x": 1}),
+                 WorkUnit("test-explode", 7, {})]
+        runner = SweepRunner(jobs=2)
+        with pytest.raises(WorkerError) as excinfo:
+            runner.run(units)
+        assert "boom from seed 7" in excinfo.value.remote_traceback
+        assert "ValueError" in excinfo.value.remote_traceback
+        assert excinfo.value.digest == units[1].config_digest
+
+    def test_raise_on_error_false_returns_outcomes(self):
+        units = [WorkUnit("test-explode", 7, {}),
+                 WorkUnit("test-square", 0, {"x": 2})]
+        outcomes = SweepRunner(jobs=1).run(units, raise_on_error=False)
+        assert not outcomes[0].ok and "boom" in outcomes[0].error
+        assert outcomes[1].ok and outcomes[1].value == 4
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(chunk_size=0)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        hit, value = cache.get("ab" + "0" * 62)
+        assert not hit and value is None
+        cache.put("ab" + "0" * 62, {"answer": 42})
+        hit, value = cache.get("ab" + "0" * 62)
+        assert hit and value == {"answer": 42}
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = "cd" + "0" * 62
+        cache.put(digest, 1.0)
+        path = tmp_path / digest[:2] / f"{digest}.pkl"
+        path.write_bytes(b"not a pickle")
+        hit, value = cache.get(digest)
+        assert not hit and value is None
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for index in range(3):
+            cache.put(f"{index:02d}" + "0" * 62, index)
+        stats = cache.stats()
+        assert stats.entries == 3 and stats.total_bytes > 0
+        assert "entries" in stats.format()
+        assert cache.clear() == 3
+        assert cache.stats().entries == 0
+
+    def test_env_var_sets_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        cache = ResultCache()
+        assert cache.root == tmp_path / "envcache"
+
+    def test_runner_serves_repeat_work_from_cache(self, tmp_path):
+        units = _square_units(5)
+        first = SweepRunner(jobs=1, cache=tmp_path)
+        cold = first.run(units)
+        assert not any(o.cached for o in cold)
+        second = SweepRunner(jobs=1, cache=tmp_path)
+        warm = second.run(units)
+        assert all(o.cached and o.wall_time == 0.0 for o in warm)
+        assert [o.value for o in warm] == [o.value for o in cold]
+
+    def test_config_change_invalidates(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        runner.run(_square_units(3, seed=0))
+        changed = runner.run(_square_units(3, seed=1))
+        assert not any(o.cached for o in changed)
+
+    def test_failures_are_not_cached(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache=tmp_path)
+        unit = WorkUnit("test-explode", 1, {})
+        runner.run([unit], raise_on_error=False)
+        again = runner.run([unit], raise_on_error=False)
+        assert not again[0].cached and not again[0].ok
+
+
+class TestFigureParity:
+    def test_work_units_have_independent_seeds(self):
+        _spec, _grid, units = figure_work_units("fig7", quality="fast",
+                                                intensities=[0.3, 0.6])
+        simulated = [u for u in units if u.evaluator_id == "sweep-point"]
+        assert len(simulated) == len({u.seed for u in simulated})
+        assert len({u.config_digest for u in units}) == len(units)
+
+    def test_spawn_seed_is_key_determined(self):
+        assert spawn_seed(1, "a", 0.3) == spawn_seed(1, "a", 0.3)
+        assert spawn_seed(1, "a", 0.3) != spawn_seed(1, "a", 0.6)
+        assert spawn_seed(1, "a", 0.3) != spawn_seed(2, "a", 0.3)
+
+    def test_serial_and_parallel_figures_identical(self):
+        grid = [0.3, 0.6]
+        serial = figure_series("fig7", quality="fast", intensities=grid,
+                               jobs=1)
+        parallel = figure_series("fig7", quality="fast", intensities=grid,
+                                 jobs=4)
+        assert serial == parallel
+
+    def test_cached_figure_is_identical_to_fresh(self, tmp_path):
+        grid = [0.4]
+        cold_runner = SweepRunner(jobs=1, cache=tmp_path)
+        cold = figure_series("fig4", quality="fast", intensities=grid,
+                             runner=cold_runner)
+        warm_runner = SweepRunner(jobs=1, cache=tmp_path)
+        warm = figure_series("fig4", quality="fast", intensities=grid,
+                             runner=warm_runner)
+        assert warm == cold
+        assert all(o.cached for o in warm_runner.last_outcomes)
+
+
+class TestReplicationWaves:
+    WORKLOAD = Workload(arrival_rate=0.04, transmission_rate=1.0,
+                        service_rate=0.2)
+
+    def _replicate(self, **kwargs):
+        from repro.analysis.replication import replicate_delay
+
+        return replicate_delay("8/1x1x1 SBUS/4", self.WORKLOAD,
+                               horizon=2_000.0, warmup=200.0,
+                               target_relative_halfwidth=0.2,
+                               max_replications=30, **kwargs)
+
+    def test_wave_estimate_matches_sequential(self):
+        sequential = self._replicate(jobs=1)
+        for jobs in (2, 3, 7):
+            waved = self._replicate(jobs=jobs)
+            assert waved.mean_delay == sequential.mean_delay
+            assert waved.ci_halfwidth == sequential.ci_halfwidth
+            assert waved.replications == sequential.replications
+            assert waved.values == sequential.values
+
+    def test_wave_runner_path_at_jobs_one_matches_sequential(self):
+        # Force the wave code path with an explicit runner even at one job.
+        sequential = self._replicate(jobs=1)
+        waved = self._replicate(runner=SweepRunner(jobs=1))
+        assert waved == sequential
+
+
+class TestJobsEnvIntegration:
+    def test_repro_jobs_env_drives_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        runner = SweepRunner()
+        assert runner.effective_jobs == 2
+        values = runner.run_values(_square_units(4))
+        assert values == [0, 1, 4, 9]
