@@ -1,0 +1,119 @@
+"""Incremental Omega status propagation vs. the full per-tick recompute.
+
+PR 4 replaced the scheduler's per-tick full status recompute — every
+availability register of every interchange box, every tick — with dirty
+marking: only registers whose inputs (link occupancy, circuits, downstream
+registers, free counts) actually changed are recomputed, and a changed
+register marks its upstream readers for the next wave.  This benchmark
+drives both modes through an identical multi-round allocate/replenish
+workload on a 64x64 Omega network and pins
+
+* a throughput floor of 2x (ticks/sec, the ISSUE's acceptance floor), and
+* bit-identical results: per-request outcomes, tick counts, and the final
+  free-resource map must match the full recompute exactly.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the network and round count so CI can
+execute the benchmark end to end in seconds; the throughput floor is only
+asserted at full size.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+from repro.networks.omega import ClockedMultistageScheduler
+from repro.networks.topology import OmegaTopology
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+SIZE = 16 if SMOKE else 64
+ROUNDS = 2 if SMOKE else 6
+SPEEDUP_FLOOR = 2.0
+
+
+def _workload():
+    """Deterministic multi-round batch workload (round, requesters, refill).
+
+    Each round replenishes a sliding window of ports and submits a batch of
+    requesters offset from the refilled ports, so queries contend, rejects
+    unwind, and the status surface keeps shifting — the regime where the
+    full recompute pays for every register every tick.
+    """
+    rounds = []
+    for round_index in range(ROUNDS):
+        refill = {(port * 3 + round_index) % SIZE: 1 + (port + round_index) % 2
+                  for port in range(SIZE // 4)}
+        requesters = sorted({(port * 5 + round_index * 7) % SIZE
+                             for port in range(SIZE // 3)})
+        rounds.append((refill, requesters))
+    return rounds
+
+
+def _drive(incremental):
+    """Run the workload; returns (results, free map, elapsed, total ticks)."""
+    scheduler = ClockedMultistageScheduler(
+        OmegaTopology(SIZE), {port: 1 for port in range(0, SIZE, 2)},
+        incremental_status=incremental)
+    results = []
+    ticks = 0
+    start = perf_counter()
+    for refill, requesters in _workload():
+        for port, count in refill.items():
+            scheduler.set_resources(port, count)
+        outcome = scheduler.run(requesters)
+        ticks += outcome.ticks
+        results.append((outcome.ticks, sorted(
+            (o.source, o.resource_type, o.port, o.hops, o.attempts,
+             o.completed_tick)
+            for o in outcome.outcomes.values())))
+    elapsed = perf_counter() - start
+    return results, scheduler.free_resources, elapsed, ticks
+
+
+def test_omega_incremental_status(benchmark):
+    """Measure incremental-status throughput; cross-check the full mode."""
+    full_results, full_free, full_time, full_ticks = _drive(False)
+    (inc_results, inc_free, inc_time, inc_ticks) = benchmark.pedantic(
+        _drive, args=(True,), rounds=1, iterations=1)
+    assert inc_results == full_results, (
+        "incremental status diverged from the full recompute")
+    assert inc_free == full_free
+    assert inc_ticks == full_ticks
+    speedup = (inc_ticks / inc_time) / (full_ticks / full_time)
+    benchmark.extra_info["network_size"] = SIZE
+    benchmark.extra_info["rounds"] = ROUNDS
+    benchmark.extra_info["ticks"] = inc_ticks
+    benchmark.extra_info["full_ticks_per_sec"] = round(full_ticks / full_time)
+    benchmark.extra_info["incremental_ticks_per_sec"] = round(
+        inc_ticks / inc_time)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    benchmark.extra_info["smoke"] = SMOKE
+    print(f"\n{SIZE}x{SIZE} Omega, {inc_ticks} ticks: "
+          f"full {full_ticks / full_time:,.0f} ticks/s, "
+          f"incremental {inc_ticks / inc_time:,.0f} ticks/s, "
+          f"speedup {speedup:.2f}x")
+
+
+def test_omega_incremental_speedup_floor():
+    """Incremental status must clear the full recompute by >= 2x ticks/sec.
+
+    Best-of-three on both sides to damp scheduler noise.  Skipped in smoke
+    mode (tiny networks leave too few registers for dirty marking to win).
+    """
+    if SMOKE:
+        import pytest
+
+        pytest.skip("throughput floor asserted at full network size only")
+    full_rate = 0.0
+    inc_rate = 0.0
+    for _ in range(3):
+        _results, _free, elapsed, ticks = _drive(False)
+        full_rate = max(full_rate, ticks / elapsed)
+        _results, _free, elapsed, ticks = _drive(True)
+        inc_rate = max(inc_rate, ticks / elapsed)
+    speedup = inc_rate / full_rate
+    print(f"\nspeedup: {speedup:.2f}x "
+          f"({inc_rate:,.0f} vs {full_rate:,.0f} ticks/s)")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"incremental status regressed: only {speedup:.2f}x over the full "
+        f"per-tick recompute (floor {SPEEDUP_FLOOR}x)")

@@ -64,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="recompute every point, bypassing the cache")
     run.add_argument("--plot", action="store_true",
                      help="draw delay figures as an ASCII chart")
+    run.add_argument("--profile", action="store_true",
+                     help="profile the run with cProfile and print the "
+                          "top-25 functions by cumulative time")
+    run.add_argument("--profile-out", default="repro_profile.pstats",
+                     help="pstats dump written when --profile is given "
+                          "(default: repro_profile.pstats)")
 
     cache = commands.add_parser(
         "cache", help="inspect or clear the sweep result cache")
@@ -177,10 +183,17 @@ def _command_run(args) -> int:
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     runner = SweepRunner(jobs=args.jobs, cache=cache)
+    profiler = None
+    if args.profile:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
     start = time.perf_counter()
     series = figure_series(args.exp_id, quality=args.quality, seed=args.seed,
                            runner=runner)
     elapsed = time.perf_counter() - start
+    if profiler is not None:
+        profiler.disable()
     title = f"{args.exp_id}: {FIGURE_SPECS[args.exp_id].title}"
     print(format_series_table(series, title=title))
     if args.plot:
@@ -193,6 +206,13 @@ def _command_run(args) -> int:
     print(f"{len(outcomes)} points in {elapsed:.2f}s "
           f"({runner.effective_jobs} job(s), {hits} cache hit(s), "
           f"cache {'off' if cache is None else cache.root})")
+    if profiler is not None:
+        import pstats
+        profiler.dump_stats(args.profile_out)
+        print()
+        print(f"profile written to {args.profile_out}")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(25)
     return 0
 
 

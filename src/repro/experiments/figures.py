@@ -103,7 +103,7 @@ def intensity_grid(step: float, start: float = 0.1, stop: float = 1.2) -> List[f
 
 def figure_work_units(exp_id: str, quality: str = "fast",
                       intensities: Optional[Sequence[float]] = None,
-                      seed: int = 1):
+                      seed: int = 1, solver: str = "dense"):
     """Decompose a delay figure into independent work units.
 
     Returns ``(spec, grid, units)`` where ``units`` holds one
@@ -115,6 +115,11 @@ def figure_work_units(exp_id: str, quality: str = "fast",
     figure.  Analytic (SBUS) points carry seed 0 — the exact chain draws no
     randomness, and a fixed seed lets cached points be shared across master
     seeds.
+
+    ``solver`` tags analytic units with a backend ("dense" per-point
+    reference solves — the default, independent of execution order — or
+    "sweep" for the parametric fast path).  The tag is digest material, so
+    the result cache never serves one backend's points for the other.
     """
     from repro.runner import WorkUnit
     from repro.sim.rng import spawn_seed
@@ -137,7 +142,7 @@ def figure_work_units(exp_id: str, quality: str = "fast",
                     "config": triplet,
                     "mu_ratio": spec.mu_ratio,
                     "intensity": intensity,
-                }))
+                }, backend=solver))
             else:
                 units.append(WorkUnit(
                     "sweep-point",
@@ -154,7 +159,7 @@ def figure_work_units(exp_id: str, quality: str = "fast",
 def figure_series(exp_id: str, quality: str = "fast",
                   intensities: Optional[Sequence[float]] = None,
                   seed: int = 1, jobs: Optional[int] = None,
-                  runner=None) -> List[Series]:
+                  runner=None, solver: str = "dense") -> List[Series]:
     """Materialize every curve of a delay figure.
 
     Points are independent seeded work units executed through a
@@ -166,7 +171,8 @@ def figure_series(exp_id: str, quality: str = "fast",
     from repro.runner import SweepRunner
 
     spec, grid, units = figure_work_units(exp_id, quality=quality,
-                                          intensities=intensities, seed=seed)
+                                          intensities=intensities, seed=seed,
+                                          solver=solver)
     if runner is None:
         runner = SweepRunner(jobs=jobs)
     points = runner.run_values(units)

@@ -78,6 +78,14 @@ class MultibusChain:
     # -- transitions ------------------------------------------------------------
     def transitions(self, state: MultibusState
                     ) -> Iterator[Tuple[MultibusState, float]]:
+        yield from self.arrival_transitions(state)
+        yield from self.completion_transitions(state)
+
+    def arrival_transitions(self, state: MultibusState
+                            ) -> Iterator[Tuple[MultibusState, float]]:
+        """The arrival transition — the ``lambda * B`` part of the
+        parametric split used by :mod:`repro.markov.assembly` (a chain with
+        ``arrival_rate=1`` yields the unit coefficients)."""
         queued, ports = state
         # Arrival: dispatch immediately if some port can accept, else queue.
         target = self.dispatch_port(ports)
@@ -85,6 +93,11 @@ class MultibusChain:
             yield (queued + 1, ports), self.arrival_rate
         else:
             yield (queued, self._set(ports, target, bus=1)), self.arrival_rate
+
+    def completion_transitions(self, state: MultibusState
+                               ) -> Iterator[Tuple[MultibusState, float]]:
+        """Completions — the rate-independent ``A`` part of the split."""
+        queued, ports = state
         # Transmission completions.
         for index, (bus, busy) in enumerate(ports):
             if bus != 1:

@@ -115,15 +115,34 @@ class SbusChain:
     # -- transition structure ----------------------------------------------
     def transitions(self, state: SbusState) -> Iterator[Tuple[SbusState, float]]:
         """Outgoing ``(target, rate)`` pairs of ``state``."""
+        yield from self.arrival_transitions(state)
+        yield from self.completion_transitions(state)
+
+    def arrival_transitions(self, state: SbusState
+                            ) -> Iterator[Tuple[SbusState, float]]:
+        """The arrival transition of ``state`` (rate proportional to Lambda).
+
+        Exactly the entries of the generator scaled by the arrival rate —
+        the ``lambda * B`` part of the parametric split
+        ``Q(lambda) = A + lambda * B`` exploited by
+        :mod:`repro.markov.assembly` (the rate yielded here is
+        ``arrival_rate`` times the unit coefficient, so a chain built with
+        ``arrival_rate=1`` yields the coefficients themselves).
+        """
         queued, transmitting, busy = state
         r = self.resources
-        # Arrival.
         if transmitting == 0 and queued == 0 and busy < r:
             yield (0, 1, busy), self.arrival_rate
         elif transmitting == 0:  # bus idle because all resources busy
             yield (queued + 1, 0, r), self.arrival_rate
         else:
             yield (queued + 1, 1, busy), self.arrival_rate
+
+    def completion_transitions(self, state: SbusState
+                               ) -> Iterator[Tuple[SbusState, float]]:
+        """Transmission/service completions — the ``A`` part of the split."""
+        queued, transmitting, busy = state
+        r = self.resources
         # Transmission completion.
         if transmitting == 1:
             if queued >= 1 and busy + 1 <= r - 1:

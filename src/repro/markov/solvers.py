@@ -110,13 +110,15 @@ def solve_matrix_geometric(chain: SbusChain) -> SbusSolution:
                         rate_matrix[top_phase, above_phase] * rate
                     )
     # Replace the last equation with normalization including the tail mass.
+    # Solve (I - R) against the needed right-hand sides rather than forming
+    # the explicit inverse: tail_column_weights = (I - R)^{-1} 1.
     identity = np.eye(rate_matrix.shape[0])
-    tail_inverse = np.linalg.inv(identity - rate_matrix)
     matrix[-1, :] = 0.0
     for states in level_states[:-1]:
         for state in states:
             matrix[-1, index[state]] = 1.0
-    tail_column_weights = tail_inverse @ np.ones(rate_matrix.shape[0])
+    tail_column_weights = np.linalg.solve(identity - rate_matrix,
+                                          np.ones(rate_matrix.shape[0]))
     for top_phase, top in enumerate(top_states):
         matrix[-1, index[top]] = tail_column_weights[top_phase]
     rhs = np.zeros(total)
@@ -144,12 +146,13 @@ def solve_matrix_geometric(chain: SbusChain) -> SbusSolution:
     busy_vector = np.array([float(chain.busy_resources(s)) for s in top_states])
     transmitting_vector = np.array([1.0 if chain.bus_busy(s) else 0.0
                                     for s in top_states])
-    ones = np.ones(len(top_states))
-    tail_sum = rate_matrix @ tail_inverse          # sum_{j>=1} R^j
-    tail_mass_vector = pi_top @ tail_sum
+    # tail_mass_vector = pi_top R (I - R)^{-1} = row weights of sum_{j>=1} R^j.
+    tail_mass_vector = np.linalg.solve((identity - rate_matrix).T,
+                                       rate_matrix.T @ pi_top)
     # At level boundary_top + j the queue lengths are queued_top + j.
     mean_queue += float(tail_mass_vector @ queued_top)
-    mean_queue += float(pi_top @ rate_matrix @ tail_inverse @ tail_inverse @ ones)
+    # pi_top R (I - R)^{-2} 1 via the two solved vectors.
+    mean_queue += float(tail_mass_vector @ tail_column_weights)
     bus_busy_probability += float(tail_mass_vector @ transmitting_vector)
     mean_busy += float(tail_mass_vector @ busy_vector)
 

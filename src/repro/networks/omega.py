@@ -233,10 +233,23 @@ class ClockedMultistageScheduler:
     regime of the paper's Fig. 11 example and its blocking-probability
     experiments.  (The queueing simulator uses :class:`MultistageFabric`
     instead, where status has settled between events.)
+
+    **Incremental status** (default): instead of recomputing every
+    availability register on every tick, the scheduler dirty-marks the
+    registers whose inputs — link occupancy, box circuits, downstream
+    registers, or per-port free counts — actually changed, and each wave
+    recomputes only the marked registers.  A register changed by a wave
+    marks its upstream readers for the *next* wave, which reproduces the
+    one-stage-per-tick double-buffered latency of the full recompute
+    exactly; ``incremental_status=False`` keeps the original full
+    recompute as the behavioral reference, and the property tests drive
+    both in lockstep through random allocate/release/fault sequences.
     """
 
-    def __init__(self, topology: MultistageTopology, free_resources):
+    def __init__(self, topology: MultistageTopology, free_resources,
+                 incremental_status: bool = True):
         self.topology = topology
+        self.incremental_status = incremental_status
         self.free_resources = self._normalize_resources(free_resources)
         self.resource_types: Tuple[Hashable, ...] = tuple(sorted(
             {rtype
@@ -254,6 +267,32 @@ class ClockedMultistageScheduler:
             [topology.input_map(stage, link) for link in range(topology.size)]
             for stage in range(topology.stages)
         ]
+        # Reverse maps for dirty propagation.  _producer[c][l] is the
+        # (box, out_port) at stage c-1 driving link (c, l); _box_inputs
+        # lists each box's input links.
+        self._producer: List[List[Tuple[int, int]]] = [
+            [(-1, -1)] * topology.size for _ in range(topology.stages + 1)
+        ]
+        for stage in range(topology.stages):
+            for box_index in range(topology.boxes_per_stage):
+                for out_port in (UPPER, LOWER):
+                    link = topology.output_link(stage, box_index, out_port)
+                    self._producer[stage + 1][link] = (box_index, out_port)
+        self._box_inputs: List[List[List[int]]] = [
+            [[] for _ in range(topology.boxes_per_stage)]
+            for _ in range(topology.stages)
+        ]
+        for stage in range(topology.stages):
+            for link in range(topology.size):
+                box_index, _in_port = self._in_map[stage][link]
+                self._box_inputs[stage][box_index].append(link)
+        # Every register starts dirty: the first waves compute them all.
+        self._dirty: Set[Tuple[int, int, int]] = {
+            (stage, box_index, out_port)
+            for stage in range(topology.stages)
+            for box_index in range(topology.boxes_per_stage)
+            for out_port in (UPPER, LOWER)
+        }
         self._inbox: List[BoxMessage] = []
         self._pending: List[QueryToken] = []
         self._outcomes: Dict[int, RequestOutcome] = {}
@@ -283,13 +322,161 @@ class ClockedMultistageScheduler:
     def _free_count(self, port: int, resource_type: Hashable) -> int:
         return self.free_resources.get(port, {}).get(resource_type, 0)
 
+    # -- external resource events ---------------------------------------------
+    def set_resources(self, port: int, count: int,
+                      resource_type: Hashable = DEFAULT_TYPE) -> None:
+        """Set a port's free count (allocate/release/fault/repair events).
+
+        Goes through the scheduler so the status fabric learns about the
+        change: the register watching the port is dirty-marked and the next
+        waves propagate the new availability backward stage by stage.
+        """
+        if not 0 <= port < self.topology.size:
+            raise ConfigurationError(f"port {port} out of range")
+        if resource_type not in self.resource_types:
+            raise ConfigurationError(
+                f"unknown resource type {resource_type!r}")
+        if count < 0:
+            raise ConfigurationError(
+                f"negative resource count at port {port}")
+        self.free_resources.setdefault(port, {})[resource_type] = count
+        self._mark_resource(port)
+
+    def adjust_resources(self, port: int, delta: int,
+                         resource_type: Hashable = DEFAULT_TYPE) -> None:
+        """Add ``delta`` to a port's free count (may be negative)."""
+        current = self._free_count(port, resource_type)
+        self.set_resources(port, current + delta, resource_type)
+
+    # -- dirty propagation ------------------------------------------------------
+    def _mark_box_readers(self, stage: int, box_index: int) -> None:
+        """Mark the upstream registers whose status scans box ``(stage, box)``.
+
+        Those are the (at most two) stage ``stage - 1`` registers driving
+        the box's input links; a stage-0 box is read only by the live
+        processor status lines, which are never cached.
+        """
+        if stage == 0:
+            return
+        producers = self._producer[stage]
+        for link in self._box_inputs[stage][box_index]:
+            box, out_port = producers[link]
+            self._dirty.add((stage - 1, box, out_port))
+
+    def _mark_link(self, link: Link) -> None:
+        """Mark every register that reads the occupancy of ``link``."""
+        column, index = link
+        if column == 0:
+            return  # read only by the live processor status lines
+        box, out_port = self._producer[column][index]
+        self._dirty.add((column - 1, box, out_port))
+        if column >= 2:
+            # The producing box's outputs are also scanned one stage
+            # further upstream (the inner loop of the status formula).
+            self._mark_box_readers(column - 1, box)
+
+    def _mark_resource(self, port: int) -> None:
+        """Mark the last-stage register watching a port's free counts."""
+        box, out_port = self._producer[self.topology.stages][port]
+        self._dirty.add((self.topology.stages - 1, box, out_port))
+
+    def _occupy_link(self, link: Link) -> None:
+        self._busy.add(link)
+        self._mark_link(link)
+
+    def _release_link(self, link: Link) -> None:
+        self._busy.discard(link)
+        self._mark_link(link)
+
+    def _engage(self, box: InterchangeBox, in_port: int, out_port: int) -> None:
+        box.engage(in_port, out_port)
+        self._mark_box_readers(box.stage, box.index)
+
+    def _disengage(self, box: InterchangeBox, in_port: int) -> None:
+        box.disengage(in_port)
+        self._mark_box_readers(box.stage, box.index)
+
+    def _write_register(self, box: InterchangeBox, out_port: int,
+                        resource_type: Hashable, value: bool) -> None:
+        """An out-of-wave register write (query zeroing, stale refusal).
+
+        The register itself is marked so the next wave recomputes it from
+        its true inputs — full recompute restores such writes one tick
+        later, and the incremental path must do the same — and its
+        upstream readers are marked because its value changed.
+        """
+        box.set_available(out_port, resource_type, value)
+        self._dirty.add((box.stage, box.index, out_port))
+        self._mark_box_readers(box.stage, box.index)
+
+    def _take_resource(self, port: int, resource_type: Hashable) -> None:
+        self.free_resources[port][resource_type] -= 1
+        self._mark_resource(port)
+
     # -- status propagation ----------------------------------------------------
     def _refresh_status(self) -> None:
+        """One backward status wave (incremental or full recompute)."""
+        if self.incremental_status:
+            self._refresh_status_incremental()
+        else:
+            self._refresh_status_full()
+
+    def _refresh_status_incremental(self) -> None:
+        """Recompute only the dirty registers, in ascending stage order.
+
+        Ascending order preserves the double-buffered semantics of the
+        full recompute without snapshots: a stage ``s`` register reads
+        stage ``s + 1`` registers that this pass has not yet rewritten,
+        i.e. their start-of-tick values.  Registers whose recomputed value
+        actually changed mark their upstream readers — for the *next*
+        wave, matching the one-stage-per-tick propagation latency.
+        """
+        dirty = sorted(self._dirty)
+        self._dirty = set()
+        last = self.topology.stages - 1
+        for stage, box_index, out_port in dirty:
+            box = self.boxes[stage][box_index]
+            out_link = (stage + 1,
+                        self.topology.output_link(stage, box_index, out_port))
+            link_busy = out_link in self._busy
+            changed = False
+            for rtype in self.resource_types:
+                if stage == last:
+                    value = (self._free_count(out_link[1], rtype) > 0
+                             and not link_busy)
+                else:
+                    next_index, next_port = self._in_map[stage + 1][out_link[1]]
+                    next_box = self.boxes[stage + 1][next_index]
+                    value = (not link_busy
+                             and self._status_live(next_box, next_port, rtype))
+                if value != box.is_available(out_port, rtype):
+                    box.set_available(out_port, rtype, value)
+                    changed = True
+            if changed:
+                self._mark_box_readers(stage, box_index)
+
+    def _status_live(self, box: InterchangeBox, in_port: int,
+                     resource_type: Hashable) -> bool:
+        """The status formula against live registers (see ascending-order
+        note in :meth:`_refresh_status_incremental`)."""
+        if in_port in box.circuit:
+            return False
+        stage = box.stage
+        for out_port in box.allowed_outputs(in_port):
+            out_link = (stage + 1,
+                        self.topology.output_link(stage, box.index, out_port))
+            if (box.is_available(out_port, resource_type)
+                    and out_link not in self._busy):
+                return True
+        return False
+
+    def _refresh_status_full(self) -> None:
         """One backward status wave, double-buffered (one stage of latency).
 
         All types propagate in the same wave — in hardware the S signal is
         a vector of one bit per type (the paper's ``O(t log N)`` overhead
-        accounts for serializing them on one line).
+        accounts for serializing them on one line).  This is the reference
+        implementation the incremental path is tested against.
         """
         last = self.topology.stages - 1
         snapshot = [
@@ -358,21 +545,21 @@ class ClockedMultistageScheduler:
                 port = out_link[1]
                 if self._free_count(port, rtype) <= 0:
                     # The register was stale; the controller refuses.
-                    box.set_available(out_port, rtype, False)
+                    self._write_register(box, out_port, rtype, False)
                     continue
                 # Capture: the C (found) signal confirms along the path.
-                box.engage(in_port, out_port)
-                self._busy.add(out_link)
-                self.free_resources[port][rtype] -= 1
+                self._engage(box, in_port, out_port)
+                self._occupy_link(out_link)
+                self._take_resource(port, rtype)
                 token.trail.append((stage, box.index, in_port, out_port))
                 outcome = self._outcomes[token.request_id]
                 outcome.port = port
                 outcome.completed_tick = self._tick
                 return True
-            box.engage(in_port, out_port)
+            self._engage(box, in_port, out_port)
             # Zeroed on query forward (Fig. 10) — only the query's own type.
-            box.set_available(out_port, rtype, False)
-            self._busy.add(out_link)
+            self._write_register(box, out_port, rtype, False)
+            self._occupy_link(out_link)
             token.trail.append((stage, box.index, in_port, out_port))
             next_box, next_port = self._in_map[stage + 1][out_link[1]]
             emit.append(BoxMessage(kind="query", stage=stage + 1,
@@ -384,7 +571,7 @@ class ClockedMultistageScheduler:
                 emit: List[BoxMessage]) -> None:
         """Send a reject upstream from stage ``stage`` input ``in_port``."""
         if stage == 0:
-            self._busy.discard((0, token.source))
+            self._release_link((0, token.source))
             token.attempts += 1
             self._pending.append(token)
             return
@@ -452,7 +639,7 @@ class ClockedMultistageScheduler:
         still_pending: List[QueryToken] = []
         for token in self._pending:
             if self._input_status(token.source, token.resource_type):
-                self._busy.add((0, token.source))
+                self._occupy_link((0, token.source))
                 box_index, in_port = self._in_map[0][token.source]
                 self._inbox.append(BoxMessage(kind="query", stage=0,
                                               box=box_index, port=in_port,
@@ -478,11 +665,11 @@ class ClockedMultistageScheduler:
                     # Unwind the hop that chose the refused output.
                     last_stage, last_box, last_in, last_out = token.trail.pop()
                     assert (last_stage, last_box) == (stage, box_index)
-                    box.disengage(last_in)
+                    self._disengage(box, last_in)
                     out_link = (stage + 1,
                                 self.topology.output_link(stage, box_index, last_out))
-                    self._busy.discard(out_link)
-                    box.set_available(last_out, token.resource_type, False)
+                    self._release_link(out_link)
+                    self._write_register(box, last_out, token.resource_type, False)
                     token.hops += 1  # the box is traversed again on re-routing
                     if not self._forward(stage, box, last_in, token, emit):
                         self._bounce(stage, last_in, token, emit)

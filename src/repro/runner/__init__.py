@@ -31,6 +31,7 @@ from repro.runner.pool import (
 )
 from repro.runner.workunit import (
     CACHE_SCHEMA_VERSION,
+    DEFAULT_BACKEND,
     WorkUnit,
     canonical_params,
     code_version,
@@ -40,6 +41,7 @@ from repro.runner.workunit import (
 __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA_VERSION",
+    "DEFAULT_BACKEND",
     "CacheStats",
     "EVALUATORS",
     "JOBS_ENV",

@@ -19,8 +19,9 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Mapping
 
 from repro.errors import ConfigurationError
+from repro.runner.workunit import DEFAULT_BACKEND
 
-Evaluator = Callable[[int, Mapping[str, Any]], Any]
+Evaluator = Callable[..., Any]
 
 #: Evaluator functions by id; workers resolve work units against this table.
 EVALUATORS: Dict[str, Evaluator] = {}
@@ -49,8 +50,24 @@ def get_evaluator(evaluator_id: str) -> Evaluator:
     return function
 
 
+#: Per-process solver context for the ``sweep`` backend.  Workers are
+#: long-lived, so chain structure assembled for one unit is reused by every
+#: later unit the same process executes.
+_WORKER_CONTEXT = None
+
+
+def _worker_context():
+    global _WORKER_CONTEXT
+    if _WORKER_CONTEXT is None:
+        from repro.markov.assembly import SolverContext
+
+        _WORKER_CONTEXT = SolverContext()
+    return _WORKER_CONTEXT
+
+
 @evaluator("sweep-point")
-def sweep_point(seed: int, params: Mapping[str, Any]):
+def sweep_point(seed: int, params: Mapping[str, Any],
+                backend: str = DEFAULT_BACKEND):
     """One simulated delay point; params mirror ``simulated_point``."""
     from repro.analysis.sweep import simulated_point
 
@@ -64,16 +81,27 @@ def sweep_point(seed: int, params: Mapping[str, Any]):
 
 
 @evaluator("analytic-point")
-def analytic_point(seed: int, params: Mapping[str, Any]):
-    """One exact SBUS delay point (the seed is irrelevant and ignored)."""
+def analytic_point(seed: int, params: Mapping[str, Any],
+                   backend: str = DEFAULT_BACKEND):
+    """One exact SBUS delay point (the seed is irrelevant and ignored).
+
+    ``backend="dense"`` is the per-point reference path; ``"sweep"`` routes
+    the solve through a per-process parametric
+    :class:`~repro.markov.assembly.SolverContext`.  The backend is digest
+    material, so cached results never cross backends.
+    """
     from repro.analysis.sweep import analytic_point as exact_point
 
+    if backend not in ("dense", "sweep"):
+        raise ConfigurationError(f"unknown solver backend: {backend!r}")
+    context = _worker_context() if backend == "sweep" else None
     return exact_point(params["config"], params["mu_ratio"],
-                       params["intensity"])
+                       params["intensity"], context=context)
 
 
 @evaluator("replication-delay")
-def replication_delay(seed: int, params: Mapping[str, Any]) -> float:
+def replication_delay(seed: int, params: Mapping[str, Any],
+                      backend: str = DEFAULT_BACKEND) -> float:
     """Mean queueing delay of one independent replication."""
     from repro.core.system import simulate
     from repro.workload.arrivals import Workload

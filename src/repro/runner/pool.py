@@ -75,17 +75,19 @@ class UnitOutcome:
         return self.error is None
 
 
-def _execute_payload(payload: Tuple[str, int, dict, str]) -> Tuple[str, Any, Optional[str], float]:
+def _execute_payload(
+        payload: Tuple[str, int, dict, str, str]
+) -> Tuple[str, Any, Optional[str], float]:
     """Run one unit in a worker: ``(digest, value, error, wall_time)``.
 
     Module-level on purpose (workers unpickle it by qualified name; SIM005).
     All exceptions — including evaluator-lookup failures — are marshalled
     as traceback text so one bad unit cannot poison the pool.
     """
-    evaluator_id, seed, params, digest = payload
+    evaluator_id, seed, params, backend, digest = payload
     start = time.perf_counter()
     try:
-        value = get_evaluator(evaluator_id)(seed, params)
+        value = get_evaluator(evaluator_id)(seed, params, backend)
     except BaseException:
         return digest, None, traceback.format_exc(), time.perf_counter() - start
     return digest, value, None, time.perf_counter() - start

@@ -25,7 +25,12 @@ from repro.errors import ConfigurationError
 
 #: Bumped whenever evaluator semantics change in a way that must invalidate
 #: previously cached results without a package version bump.
-CACHE_SCHEMA_VERSION = 1
+#: 2: solver backend became digest material (dense vs. sweep fast path).
+CACHE_SCHEMA_VERSION = 2
+
+#: The reference solver backend: per-point dense solves with no cross-point
+#: state, the backend whose results every other backend must reproduce.
+DEFAULT_BACKEND = "dense"
 
 
 def code_version() -> str:
@@ -53,12 +58,19 @@ def canonical_params(params: Mapping[str, Any]) -> str:
 
 
 def work_unit_digest(evaluator_id: str, seed: int,
-                     params: Mapping[str, Any]) -> str:
-    """SHA-256 content hash of one work unit (hex)."""
+                     params: Mapping[str, Any],
+                     backend: str = DEFAULT_BACKEND) -> str:
+    """SHA-256 content hash of one work unit (hex).
+
+    The solver backend is digest material: a result computed by the dense
+    reference path and one computed by the sweep fast path agree only to
+    solver tolerance, so the cache must never serve one for the other.
+    """
     material = "\n".join([
         code_version(),
         evaluator_id,
         str(int(seed)),
+        backend,
         canonical_params(params),
     ])
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
@@ -76,12 +88,16 @@ class WorkUnit:
     evaluator_id: str
     seed: int
     params: Mapping[str, Any]
+    backend: str = DEFAULT_BACKEND
     config_digest: str = field(default="")
 
     def __post_init__(self) -> None:
         if not self.evaluator_id:
             raise ConfigurationError("work unit needs a non-empty evaluator id")
-        digest = work_unit_digest(self.evaluator_id, self.seed, self.params)
+        if not self.backend:
+            raise ConfigurationError("work unit needs a non-empty backend")
+        digest = work_unit_digest(self.evaluator_id, self.seed, self.params,
+                                  backend=self.backend)
         if self.config_digest and self.config_digest != digest:
             raise ConfigurationError(
                 f"work-unit digest mismatch: declared {self.config_digest!r} "
@@ -92,8 +108,9 @@ class WorkUnit:
     def payload(self) -> tuple:
         """The picklable form shipped to pool workers."""
         return (self.evaluator_id, self.seed, dict(self.params),
-                self.config_digest)
+                self.backend, self.config_digest)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"WorkUnit({self.evaluator_id!r}, seed={self.seed}, "
+                f"backend={self.backend!r}, "
                 f"digest={self.config_digest[:12]})")

@@ -1,0 +1,133 @@
+"""Lockstep property tests for incremental Omega status propagation.
+
+The incremental layer's contract is *behavioral identity*: a scheduler
+with ``incremental_status=True`` must be indistinguishable — outcomes,
+tick counts, register contents, link occupancy, free-resource maps — from
+the full per-tick recompute it replaces, under any interleaving of batch
+runs with allocate/release/fault events between them.  These tests drive
+an incremental scheduler and a full-recompute twin through identical
+randomized event sequences and compare complete observable state after
+every batch.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.networks.omega import ClockedMultistageScheduler
+from repro.networks.topology import OmegaTopology
+
+
+def _full_state(scheduler):
+    """Every observable of a scheduler, in comparable form."""
+    registers = [
+        [(box.snapshot(), dict(box.circuit)) for box in stage_boxes]
+        for stage_boxes in scheduler.boxes
+    ]
+    free = {port: dict(counts)
+            for port, counts in scheduler.free_resources.items()}
+    return registers, free, set(scheduler._busy)
+
+
+def _outcome_key(result):
+    return (result.ticks, sorted(
+        (o.source, o.resource_type, o.port, o.hops, o.attempts,
+         o.completed_tick)
+        for o in result.outcomes.values()))
+
+
+def _random_event(rng, scheduler, size):
+    """One random allocate/release/fault event applied to ``scheduler``."""
+    kind = rng.choice(("set", "adjust", "fault"))
+    port = rng.randrange(size)
+    if kind == "set":
+        scheduler.set_resources(port, rng.randrange(0, 3))
+    elif kind == "adjust":
+        current = scheduler.free_resources.get(port, {}).get(0, 0)
+        delta = rng.choice((-1, 1))
+        if current + delta >= 0:
+            scheduler.adjust_resources(port, delta)
+    else:
+        # Fault: take the port's resources away entirely.
+        scheduler.set_resources(port, 0)
+
+
+def _drive_pair(seed, size, rounds):
+    """Drive incremental and full twins through one random episode."""
+    initial = {port: 1 for port in range(0, size, 2)}
+    incremental = ClockedMultistageScheduler(
+        OmegaTopology(size), dict(initial), incremental_status=True)
+    full = ClockedMultistageScheduler(
+        OmegaTopology(size), dict(initial), incremental_status=False)
+    for round_index in range(rounds):
+        event_rng = random.Random(f"{seed}-{round_index}-events")
+        for event_index in range(event_rng.randrange(0, 6)):
+            # A fresh seeded Random per event keeps both twins' sequences
+            # identical without sharing generator state between them.
+            _random_event(random.Random(f"{seed}-{round_index}-{event_index}"),
+                          incremental, size)
+            _random_event(random.Random(f"{seed}-{round_index}-{event_index}"),
+                          full, size)
+        batch_rng = random.Random(f"{seed}-{round_index}-batch")
+        requesters = sorted(batch_rng.sample(
+            range(size), batch_rng.randrange(1, size // 2 + 1)))
+        inc_result = incremental.run(requesters)
+        full_result = full.run(requesters)
+        assert _outcome_key(inc_result) == _outcome_key(full_result), (
+            f"outcomes diverged (seed={seed}, round={round_index})")
+        assert _full_state(incremental) == _full_state(full), (
+            f"state diverged (seed={seed}, round={round_index})")
+
+
+class TestLockstepEquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_episodes_size8(self, seed):
+        _drive_pair(seed, size=8, rounds=5)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_episodes_size16(self, seed):
+        _drive_pair(seed, size=16, rounds=3)
+
+    def test_fig11_example_identical(self):
+        """The paper's worked example under both status modes."""
+        requesters = [0, 3, 4, 5]
+        free = {0: 1, 1: 1, 4: 1, 5: 1}
+        inc = ClockedMultistageScheduler(
+            OmegaTopology(8), dict(free), incremental_status=True)
+        ref = ClockedMultistageScheduler(
+            OmegaTopology(8), dict(free), incremental_status=False)
+        assert _outcome_key(inc.run(requesters)) == _outcome_key(
+            ref.run(requesters))
+        assert _full_state(inc) == _full_state(ref)
+
+
+class TestEventApi:
+    def test_set_resources_validates(self):
+        scheduler = ClockedMultistageScheduler(OmegaTopology(8), {0: 1})
+        with pytest.raises(ConfigurationError):
+            scheduler.set_resources(99, 1)
+        with pytest.raises(ConfigurationError):
+            scheduler.set_resources(0, -1)
+        with pytest.raises(ConfigurationError):
+            scheduler.set_resources(0, 1, resource_type="unknown-type")
+
+    def test_adjust_accumulates(self):
+        scheduler = ClockedMultistageScheduler(OmegaTopology(8), {0: 1})
+        scheduler.adjust_resources(0, 2)
+        assert scheduler.free_resources[0][0] == 3
+        scheduler.adjust_resources(0, -3)
+        assert scheduler.free_resources[0][0] == 0
+
+    def test_replenished_port_is_allocatable(self):
+        """A port refilled mid-episode must satisfy a later request."""
+        scheduler = ClockedMultistageScheduler(OmegaTopology(8), {1: 1})
+        first = scheduler.run([0])
+        assert first.outcomes[0].allocated
+        # The only stocked port is now empty; the next batch must block.
+        second = scheduler.run([2])
+        assert not second.outcomes[2].allocated
+        scheduler.set_resources(5, 1)
+        third = scheduler.run([2])
+        assert third.outcomes[2].allocated
+        assert third.outcomes[2].port == 5

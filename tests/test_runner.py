@@ -29,12 +29,12 @@ from repro.workload.arrivals import Workload
 #: Deliberately failing evaluator, registered at import (module level so
 #: pool workers can unpickle it; SIM005).
 @evaluator("test-explode")
-def _explode(seed, params):
+def _explode(seed, params, backend="dense"):
     raise ValueError(f"boom from seed {seed}")
 
 
 @evaluator("test-square")
-def _square(seed, params):
+def _square(seed, params, backend="dense"):
     return params["x"] ** 2 + seed
 
 
@@ -53,6 +53,8 @@ class TestWorkUnit:
         assert work_unit_digest("analytic-point", 3, {"a": 1}) != base
         assert work_unit_digest("sweep-point", 4, {"a": 1}) != base
         assert work_unit_digest("sweep-point", 3, {"a": 2}) != base
+        assert work_unit_digest("sweep-point", 3, {"a": 1},
+                                backend="sweep") != base
 
     def test_unit_computes_and_pins_digest(self):
         unit = WorkUnit("sweep-point", 3, {"a": 1})
@@ -73,7 +75,14 @@ class TestWorkUnit:
     def test_payload_round_trips_through_pickle(self):
         unit = WorkUnit("sweep-point", 3, {"a": 1})
         payload = pickle.loads(pickle.dumps(unit.payload()))
-        assert payload == ("sweep-point", 3, {"a": 1}, unit.config_digest)
+        assert payload == ("sweep-point", 3, {"a": 1}, "dense",
+                           unit.config_digest)
+
+    def test_backend_tag_separates_cache_identities(self):
+        dense = WorkUnit("analytic-point", 0, {"x": 1})
+        sweep = WorkUnit("analytic-point", 0, {"x": 1}, backend="sweep")
+        assert dense.backend == "dense"
+        assert dense.config_digest != sweep.config_digest
 
 
 class TestResolveJobs:
@@ -221,6 +230,33 @@ class TestFigureParity:
                              runner=warm_runner)
         assert warm == cold
         assert all(o.cached for o in warm_runner.last_outcomes)
+
+    def test_sweep_backend_flows_through_pool(self):
+        """Analytic units tagged "sweep" run the fast path in workers and
+        agree with the dense reference backend."""
+        grid = [0.3, 0.5]
+        dense = figure_series("fig4", quality="fast", intensities=grid,
+                              jobs=1, solver="dense")
+        fast = figure_series("fig4", quality="fast", intensities=grid,
+                             jobs=2, solver="sweep")
+        for dense_series, fast_series in zip(dense, fast):
+            for dense_point, fast_point in zip(dense_series.points,
+                                               fast_series.points):
+                if dense_point.normalized_delay is None:
+                    assert fast_point.normalized_delay is None
+                    continue
+                assert fast_point.normalized_delay == pytest.approx(
+                    dense_point.normalized_delay, rel=1e-8)
+
+    def test_backends_never_share_cache_entries(self, tmp_path):
+        """The backend tag keeps dense and sweep results apart on disk."""
+        grid = [0.4]
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        figure_series("fig4", quality="fast", intensities=grid,
+                      runner=runner, solver="dense")
+        figure_series("fig4", quality="fast", intensities=grid,
+                      runner=runner, solver="sweep")
+        assert not any(o.cached for o in runner.last_outcomes)
 
 
 class TestReplicationWaves:
