@@ -9,19 +9,26 @@ independent buses, by event simulation otherwise.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.approximations import saturation_intensity, sbus_delay
 from repro.config import SystemConfig
 from repro.core.system import simulate
-from repro.errors import UnstableSystemError
+from repro.errors import ConfigurationError, UnstableSystemError
 from repro.markov.assembly import SolverContext
 from repro.queueing.littles_law import arrival_rate_for_intensity
 from repro.workload.arrivals import Workload
 
 #: Number of resources in the x-axis reference system (the paper's 32).
 REFERENCE_RESOURCES = 32
+
+#: Lockstep replications one batched sweep point splits its horizon over.
+BATCHED_POINT_REPLICATIONS = 16
+
+#: The simulation engines a sweep point can run on.
+ENGINES = ("scalar", "batched")
 
 
 @dataclass(frozen=True)
@@ -121,7 +128,8 @@ def simulated_series(config: Union[SystemConfig, str], mu_ratio: float,
                      intensities: Sequence[float], label: Optional[str] = None,
                      horizon: float = 30_000.0, warmup_fraction: float = 0.1,
                      seed: int = 1, arbitration: str = "priority",
-                     saturation_guard: float = 0.98) -> Series:
+                     saturation_guard: float = 0.98,
+                     engine: str = "scalar") -> Series:
     """Event-simulation delay curve (crossbar / multistage configurations).
 
     Points at or beyond ``saturation_guard`` times the configuration's
@@ -133,30 +141,83 @@ def simulated_series(config: Union[SystemConfig, str], mu_ratio: float,
     points = [simulated_point(config, mu_ratio, intensity, horizon=horizon,
                               warmup_fraction=warmup_fraction, seed=seed,
                               arbitration=arbitration,
-                              saturation_guard=saturation_guard)
+                              saturation_guard=saturation_guard,
+                              engine=engine)
               for intensity in intensities]
     return Series(label=label or str(config), config=config, mu_ratio=mu_ratio,
                   points=tuple(points), method="event-simulation")
+
+
+def _batched_point(config: SystemConfig, workload: Workload, intensity: float,
+                   horizon: float, warmup_fraction: float, seed: int,
+                   arbitration: str) -> SweepPoint:
+    """One sweep point as lockstep replications of the batched engine.
+
+    The simulation budget (``horizon`` time units) is split over
+    :data:`BATCHED_POINT_REPLICATIONS` independent replications advanced in
+    lockstep, each with its own ``spawn_seed``-derived seed, and the point
+    carries a Student-t interval across replications instead of the scalar
+    engine's batch-means interval.  Estimates therefore differ from the
+    scalar engine's by replication noise (not by model), which is exactly
+    why the engine is cache-digest material.
+    """
+    from repro.sim.batched import batched_replication_delays
+    from repro.sim.rng import spawn_seed
+    from repro.sim.stats import confidence_interval
+
+    seeds = [spawn_seed(seed, "batched-replication", index)
+             for index in range(BATCHED_POINT_REPLICATIONS)]
+    per_replication = horizon / BATCHED_POINT_REPLICATIONS
+    delays = batched_replication_delays(
+        config, workload, horizon=per_replication,
+        warmup=per_replication * warmup_fraction, seeds=seeds,
+        arbitration=arbitration)
+    finite = [delay for delay in delays if not math.isnan(delay)]
+    if not finite:
+        return SweepPoint(intensity=intensity, normalized_delay=None)
+    mean, halfwidth = confidence_interval(finite)
+    return SweepPoint(
+        intensity=intensity,
+        normalized_delay=mean * workload.service_rate,
+        ci_halfwidth=halfwidth * workload.service_rate)
 
 
 def simulated_point(config: Union[SystemConfig, str], mu_ratio: float,
                     intensity: float, horizon: float = 30_000.0,
                     warmup_fraction: float = 0.1, seed: int = 1,
                     arbitration: str = "priority",
-                    saturation_guard: float = 0.98) -> SweepPoint:
+                    saturation_guard: float = 0.98,
+                    engine: str = "scalar") -> SweepPoint:
     """One event-simulation delay point (the work unit of parallel sweeps).
 
     This is deliberately a module-level function of plain picklable
     arguments: the :mod:`repro.runner` process pool ships exactly this
     computation to workers, and a parallel sweep must produce the same
     point, bit for bit, as the serial loop in :func:`simulated_series`.
+
+    ``engine="batched"`` computes the point with the lockstep replication
+    engine of :mod:`repro.sim.batched` where the model is in its scope
+    (healthy XBAR under priority arbitration), splitting the horizon over
+    :data:`BATCHED_POINT_REPLICATIONS` common-budget replications; models
+    outside that scope (Omega fabrics, faults, other arbiters) fall back
+    to the scalar engine.  Engine choice is cache-digest material — see
+    :mod:`repro.runner.workunit`.
     """
     if isinstance(config, str):
         config = SystemConfig.parse(config)
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown simulation engine {engine!r}; expected one of {ENGINES}")
     limit = saturation_guard * saturation_intensity(config, mu_ratio)
     if intensity >= limit:
         return SweepPoint(intensity=intensity, normalized_delay=None)
     workload = workload_at(intensity, mu_ratio, processors=config.processors)
+    if engine == "batched":
+        from repro.sim.batched import supports_batched
+
+        if supports_batched(config, workload, arbitration):
+            return _batched_point(config, workload, intensity, horizon,
+                                  warmup_fraction, seed, arbitration)
     result = simulate(config, workload, horizon=horizon,
                       warmup=horizon * warmup_fraction, seed=seed,
                       arbitration=arbitration)

@@ -7,7 +7,8 @@ Commands:
 * ``run``        — regenerate an experiment through the parallel sweep
   runner: ``--jobs N`` fans figure points out over worker processes and
   results are memoized in the content-addressed cache;
-* ``cache``      — inspect (``stats``) or empty (``clear``) that cache;
+* ``cache``      — inspect (``stats``), empty (``clear``), or size-bound
+  (``prune --max-size``) that cache;
 * ``simulate``   — run one configuration at a load point;
 * ``solve``      — exact Markov-chain analysis of a shared bus;
 * ``recommend``  — the Table II advisor over the standard candidates;
@@ -57,6 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes (default: REPRO_JOBS or 1)")
     run.add_argument("--seed", type=int, default=1,
                      help="master seed for per-point replications")
+    run.add_argument("--engine", default="scalar",
+                     choices=["scalar", "batched"],
+                     help="simulation engine for simulated points: the "
+                          "scalar event loop, or lockstep batched "
+                          "replications where supported (engine choice is "
+                          "cache-digest material)")
     run.add_argument("--cache-dir", default=None,
                      help="result cache directory "
                           "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
@@ -72,11 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: repro_profile.pstats)")
 
     cache = commands.add_parser(
-        "cache", help="inspect or clear the sweep result cache")
-    cache.add_argument("action", choices=["stats", "clear"])
+        "cache", help="inspect, clear, or prune the sweep result cache")
+    cache.add_argument("action", choices=["stats", "clear", "prune"])
     cache.add_argument("--cache-dir", default=None,
                        help="cache directory "
                             "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
+    cache.add_argument("--max-size", type=float, default=None, metavar="MB",
+                       help="prune: evict least-recently-used entries "
+                            "until the cache fits in this many megabytes")
 
     simulate = commands.add_parser(
         "simulate", help="simulate one configuration at a load point")
@@ -190,7 +200,7 @@ def _command_run(args) -> int:
         profiler.enable()
     start = time.perf_counter()
     series = figure_series(args.exp_id, quality=args.quality, seed=args.seed,
-                           runner=runner)
+                           runner=runner, engine=args.engine)
     elapsed = time.perf_counter() - start
     if profiler is not None:
         profiler.disable()
@@ -218,11 +228,23 @@ def _command_run(args) -> int:
 
 def _command_cache(args) -> int:
     from repro.runner import ResultCache
+    from repro.runner.cache import format_bytes
 
     cache = ResultCache(args.cache_dir)
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    if args.action == "prune":
+        if args.max_size is None:
+            print("error: cache prune requires --max-size <MB>",
+                  file=sys.stderr)
+            return 2
+        max_bytes = int(args.max_size * 1024 * 1024)
+        removed, remaining = cache.prune(max_bytes)
+        print(f"removed {removed} cached result(s) from {cache.root} "
+              f"({format_bytes(remaining)} remain, "
+              f"limit {format_bytes(max_bytes)})")
         return 0
     print(cache.stats().format())
     return 0

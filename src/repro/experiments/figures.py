@@ -103,7 +103,8 @@ def intensity_grid(step: float, start: float = 0.1, stop: float = 1.2) -> List[f
 
 def figure_work_units(exp_id: str, quality: str = "fast",
                       intensities: Optional[Sequence[float]] = None,
-                      seed: int = 1, solver: str = "dense"):
+                      seed: int = 1, solver: str = "dense",
+                      engine: str = "scalar"):
     """Decompose a delay figure into independent work units.
 
     Returns ``(spec, grid, units)`` where ``units`` holds one
@@ -120,7 +121,11 @@ def figure_work_units(exp_id: str, quality: str = "fast",
     reference solves — the default, independent of execution order — or
     "sweep" for the parametric fast path).  The tag is digest material, so
     the result cache never serves one backend's points for the other.
+    Likewise ``engine`` ("scalar" or "batched") selects the simulation
+    engine of every simulated point and rides in the unit params, so
+    scalar and batched results are digest-separated too.
     """
+    from repro.analysis.sweep import ENGINES
     from repro.runner import WorkUnit
     from repro.sim.rng import spawn_seed
 
@@ -131,6 +136,9 @@ def figure_work_units(exp_id: str, quality: str = "fast",
     if quality not in QUALITY_PRESETS:
         raise ConfigurationError(
             f"unknown quality {quality!r}; expected one of {sorted(QUALITY_PRESETS)}")
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}")
     step, horizon = QUALITY_PRESETS[quality]
     grid = list(intensities) if intensities is not None else intensity_grid(step)
     units = []
@@ -152,6 +160,7 @@ def figure_work_units(exp_id: str, quality: str = "fast",
                         "mu_ratio": spec.mu_ratio,
                         "intensity": intensity,
                         "horizon": horizon,
+                        "engine": engine,
                     }))
     return spec, grid, units
 
@@ -159,7 +168,8 @@ def figure_work_units(exp_id: str, quality: str = "fast",
 def figure_series(exp_id: str, quality: str = "fast",
                   intensities: Optional[Sequence[float]] = None,
                   seed: int = 1, jobs: Optional[int] = None,
-                  runner=None, solver: str = "dense") -> List[Series]:
+                  runner=None, solver: str = "dense",
+                  engine: str = "scalar") -> List[Series]:
     """Materialize every curve of a delay figure.
 
     Points are independent seeded work units executed through a
@@ -172,7 +182,7 @@ def figure_series(exp_id: str, quality: str = "fast",
 
     spec, grid, units = figure_work_units(exp_id, quality=quality,
                                           intensities=intensities, seed=seed,
-                                          solver=solver)
+                                          solver=solver, engine=engine)
     if runner is None:
         runner = SweepRunner(jobs=jobs)
     points = runner.run_values(units)

@@ -8,6 +8,12 @@ from repro.networks.address_mapping import (
     sequential_tag_routing,
 )
 from repro.networks.base import Connection, NetworkFabric, SingleBusFabric
+from repro.networks.batched_crossbar import (
+    BatchedCrossbar,
+    BatchedCycleResult,
+    match_pairs_batch,
+    match_requests_batch,
+)
 from repro.networks.cells import (
     MODE_REQUEST,
     MODE_RESET,
@@ -16,6 +22,7 @@ from repro.networks.cells import (
     CycleResult,
     DistributedCrossbar,
     cell_logic,
+    cell_logic_batch,
     priority_match,
 )
 from repro.networks.crossbar import ARBITRATION_POLICIES, CrossbarFabric
@@ -58,6 +65,11 @@ __all__ = [
     "DistributedCrossbar",
     "CycleResult",
     "cell_logic",
+    "cell_logic_batch",
+    "BatchedCrossbar",
+    "BatchedCycleResult",
+    "match_pairs_batch",
+    "match_requests_batch",
     "priority_match",
     "MODE_REQUEST",
     "MODE_RESET",

@@ -21,6 +21,7 @@ from repro.runner.cache import (
     CacheStats,
     ResultCache,
     default_cache_dir,
+    format_bytes,
 )
 from repro.runner.evaluators import EVALUATORS, evaluator, get_evaluator
 from repro.runner.pool import (
@@ -53,6 +54,7 @@ __all__ = [
     "code_version",
     "default_cache_dir",
     "evaluator",
+    "format_bytes",
     "get_evaluator",
     "resolve_jobs",
     "work_unit_digest",

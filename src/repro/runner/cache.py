@@ -27,6 +27,16 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 _SUFFIX = ".pkl"
 
 
+def format_bytes(count: int) -> str:
+    """``count`` bytes as a human-readable B / KiB / MiB / GiB string."""
+    size = float(count)
+    for unit in ("B", "KiB", "MiB"):
+        if size < 1024:
+            return f"{count} B" if unit == "B" else f"{size:.1f} {unit}"
+        size /= 1024
+    return f"{size:.1f} GiB"
+
+
 def default_cache_dir() -> Path:
     """The cache root used when no explicit directory is given."""
     env = os.environ.get(CACHE_DIR_ENV)
@@ -50,7 +60,7 @@ class CacheStats:
         return "\n".join([
             f"cache root    : {self.root}",
             f"entries       : {self.entries}",
-            f"total size    : {self.total_bytes / 1024:.1f} KiB",
+            f"total size    : {format_bytes(self.total_bytes)}",
             f"session hits  : {self.session_hits}",
             f"session misses: {self.session_misses}",
         ])
@@ -116,10 +126,49 @@ class ResultCache:
             except OSError:  # pragma: no cover - racing deletion
                 continue
             removed += 1
+        self._remove_empty_directories()
+        return removed
+
+    def prune(self, max_bytes: int) -> Tuple[int, int]:
+        """Evict least-recently-used entries until the cache fits.
+
+        Entries are ranked by file mtime — :meth:`get` does not touch
+        entries, so this is least-recently-*written* order, the best LRU
+        proxy a plain content-addressed file store offers — and deleted
+        oldest first until the total size drops to ``max_bytes``.  Returns
+        ``(entries removed, bytes remaining)``.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = []
+        total = 0
+        if self.root.is_dir():
+            for path in self.root.rglob(f"*{_SUFFIX}"):
+                try:
+                    status = path.stat()
+                except OSError:  # pragma: no cover - racing deletion
+                    continue
+                entries.append((status.st_mtime, status.st_size, path))
+                total += status.st_size
+        entries.sort(key=lambda entry: entry[0])
+        removed = 0
+        for _mtime, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+            total -= size
+            removed += 1
+        if removed:
+            self._remove_empty_directories()
+        return removed, total
+
+    def _remove_empty_directories(self) -> None:
         for child in sorted(self.root.rglob("*"), reverse=True):
             if child.is_dir():
                 try:
                     child.rmdir()
                 except OSError:
                     pass
-        return removed

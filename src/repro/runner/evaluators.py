@@ -11,7 +11,9 @@ Registered evaluators:
 
 * ``sweep-point``        — one event-simulation figure point (``SweepPoint``);
 * ``analytic-point``     — one exact Markov-chain figure point (``SweepPoint``);
-* ``replication-delay``  — one replication's mean queueing delay (``float``).
+* ``replication-delay``  — one replication's mean queueing delay (``float``);
+* ``replication-delay-batched`` — a whole wave of replications advanced in
+  lockstep by the batched engine (``list[float]``, seed order).
 """
 
 from __future__ import annotations
@@ -77,7 +79,8 @@ def sweep_point(seed: int, params: Mapping[str, Any],
         warmup_fraction=params.get("warmup_fraction", 0.1),
         seed=seed,
         arbitration=params.get("arbitration", "priority"),
-        saturation_guard=params.get("saturation_guard", 0.98))
+        saturation_guard=params.get("saturation_guard", 0.98),
+        engine=params.get("engine", "scalar"))
 
 
 @evaluator("analytic-point")
@@ -113,3 +116,27 @@ def replication_delay(seed: int, params: Mapping[str, Any],
                       warmup=params["warmup"], seed=seed,
                       arbitration=params.get("arbitration", "priority"))
     return result.mean_queueing_delay
+
+
+@evaluator("replication-delay-batched")
+def replication_delay_batched(seed: int, params: Mapping[str, Any],
+                              backend: str = DEFAULT_BACKEND) -> list:
+    """Mean delays of ``params["replications"]`` lockstep replications.
+
+    ``seed`` is the base seed; replication ``i`` runs with ``seed + i``,
+    so the returned list is element-for-element what ``replication-delay``
+    units with those seeds would produce (the batched engine's lockstep
+    invariant) — just computed several times faster by advancing the whole
+    wave at once.
+    """
+    from repro.sim.batched import batched_replication_delays
+    from repro.workload.arrivals import Workload
+
+    workload = Workload(arrival_rate=params["arrival_rate"],
+                        transmission_rate=params["transmission_rate"],
+                        service_rate=params["service_rate"])
+    seeds = [seed + index for index in range(int(params["replications"]))]
+    return batched_replication_delays(
+        params["config"], workload, horizon=params["horizon"],
+        warmup=params["warmup"], seeds=seeds,
+        arbitration=params.get("arbitration", "priority"))

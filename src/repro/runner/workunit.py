@@ -26,7 +26,10 @@ from repro.errors import ConfigurationError
 #: Bumped whenever evaluator semantics change in a way that must invalidate
 #: previously cached results without a package version bump.
 #: 2: solver backend became digest material (dense vs. sweep fast path).
-CACHE_SCHEMA_VERSION = 2
+#: 3: the simulation engine (scalar event loop vs. batched lockstep
+#:    replications) entered sweep-point params — engine choice is digest
+#:    material, so scalar and batched results never serve for each other.
+CACHE_SCHEMA_VERSION = 3
 
 #: The reference solver backend: per-point dense solves with no cross-point
 #: state, the backend whose results every other backend must reproduce.

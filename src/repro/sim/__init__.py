@@ -7,6 +7,9 @@ Public surface:
 * :class:`Process` — generator-based processes;
 * :class:`RandomStreams` / :class:`RngStream` — reproducible named random
   streams (the only sanctioned randomness in the package, rule SIM001);
+* the batched lockstep replication engine
+  (:class:`BatchedReplicationEngine`, :func:`batched_replication_delays`)
+  with its bit-identical vectorized streams (:class:`BatchedStreams`);
 * :class:`TieSanitizer` — the simultaneous-event race detector
   (checkpoint/replay of same-timestamp ties, see :mod:`repro.sim.sanitizer`);
 * statistics collectors: :class:`TallyStat`, :class:`TimeWeightedStat`,
@@ -14,6 +17,13 @@ Public surface:
 * :class:`Trace` — optional event log.
 """
 
+from repro.sim.batched import (
+    BatchedReplicationEngine,
+    BatchedReplicationResult,
+    VariateTable,
+    batched_replication_delays,
+    supports_batched,
+)
 from repro.sim.environment import EmptySchedule, Environment
 from repro.sim.events import (
     PRIORITY_LOW,
@@ -29,7 +39,15 @@ from repro.sim.events import (
 from repro.sim.monitor import Trace, TraceRecord
 from repro.sim.process import Process
 from repro.sim.resources import SimResource, SimStore
-from repro.sim.rng import RandomStreams, RngStream, spawn_seed
+from repro.sim.rng import (
+    BatchedExpoStream,
+    BatchedStreams,
+    RandomStreams,
+    RngStream,
+    mt19937_generator,
+    spawn_seed,
+    uniform_block_source,
+)
 from repro.sim.sanitizer import (
     RaceConditionDetected,
     RaceFinding,
@@ -57,6 +75,15 @@ __all__ = [
     "RandomStreams",
     "RngStream",
     "spawn_seed",
+    "BatchedExpoStream",
+    "BatchedStreams",
+    "mt19937_generator",
+    "uniform_block_source",
+    "BatchedReplicationEngine",
+    "BatchedReplicationResult",
+    "VariateTable",
+    "batched_replication_delays",
+    "supports_batched",
     "TieSanitizer",
     "RaceFinding",
     "RaceConditionDetected",

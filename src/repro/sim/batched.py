@@ -1,0 +1,598 @@
+"""Lockstep batched replication engine for crossbar configurations.
+
+The scalar path to a replication study is ``R`` independent
+:class:`~repro.core.system.RsinSystem` runs: each simulated event costs a
+heap pop, a callback dispatch, and a handful of Python object mutations.
+This module advances all ``R`` replications of one sweep point *in
+lockstep* instead — every piece of mutable state lives in a
+structure-of-arrays layout over a leading replication axis, and each
+iteration of the outer loop advances **every live replication by exactly
+one event** with vectorized NumPy updates:
+
+* the event calendar is one ``(R, 2 P + ports * r)`` ``float64`` array —
+  next arrival per processor, transmission end per processor, service end
+  per resource slot, side by side — so the calendar advance is a single
+  axis-min plus one argmin over the live replications, and the flat column
+  index *is* the event type;
+* holding times come from :class:`VariateTable`\\ s: per-``(replication,
+  stream)`` blocks of pre-transformed variates in one 2-D buffer, gathered
+  for a whole event batch with one fancy index (see the class docstring
+  for how block refills preserve bit-identity);
+* FIFO queues are ring buffers of task creation times in one
+  ``(R, P, capacity)`` array;
+* dispatch is the batched priority matcher of
+  :mod:`repro.networks.batched_crossbar` — the closed form of the
+  crossbar cells' wavefront — executed once per partition for every
+  replication at once;
+* mean queueing delay accumulates by Welford's recurrence exactly as
+  :class:`repro.sim.stats.TallyStat` does, vectorized when every granted
+  replication appears once and replayed sequentially when one replication
+  receives several grants in a single status broadcast.
+
+**The lockstep invariant.**  Replication ``k`` of a batched run is
+*bit-identical* to ``simulate(config, workload, horizon, warmup,
+seed=seeds[k])``: the same named streams (``arrivals-{p}``,
+``transmission-{g}``, ``service-{g}``, seeds derived via
+:func:`repro.sim.rng.spawn_seed` exactly as ``RandomStreams`` derives
+them) are consumed in the same order with the same Mersenne Twister
+variates, and every state update applies the same float operations in the
+same per-replication order.  The scalar engine's draw order is
+reproducible because its streams are independent per concern: within
+``transmission-{g}`` draws happen in dispatch order (ascending processor
+index inside each status broadcast, chronological across events), within
+``service-{g}`` in transmission-completion order, and within
+``arrivals-{p}`` trivially — all orders the lockstep loop preserves.  A
+regression test checks equality of per-replication delay estimates over a
+randomized ``(p, m, r, rho)`` grid.
+
+Scope: healthy (fault-free) ``XBAR`` configurations under ``"priority"``
+arbitration with continuous holding-time distributions.  Anything else
+falls back to the scalar engine — deterministic distributions tie event
+timestamps, and ties resolve by heap insertion order, which a lockstep
+argmin cannot reproduce.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Sequence, Tuple, Union
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.config import SystemConfig
+from repro.errors import ConfigurationError
+from repro.networks.batched_crossbar import match_pairs_batch
+from repro.sim.rng import BATCH_BLOCK, spawn_seed, uniform_block_source
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime (arrivals uses rng)
+    from repro.workload.arrivals import Workload
+
+#: Initial per-processor queue ring-buffer capacity (power of two; doubles).
+_INITIAL_QUEUE_CAPACITY = 32
+
+#: Distributions whose holding times are continuous (ties measure-zero).
+_CONTINUOUS_DISTRIBUTIONS = ("exponential", "hyperexponential")
+
+#: Expected draws per stream above which a table's block refills use the
+#: numpy generator (whose one-time construction costs ~15 blocks of scalar
+#: generation — see :func:`repro.sim.rng.uniform_block_source`).
+_VECTORIZED_REFILL_CROSSOVER = 4096
+
+_INF = math.inf
+
+_FloatArray = NDArray[np.float64]
+_IntArray = NDArray[np.int64]
+
+
+class VariateTable:
+    """``S`` parallel holding-time streams in structure-of-arrays form.
+
+    Row ``s`` of the table is one named stream of a scalar run — its seed
+    comes from :func:`~repro.sim.rng.spawn_seed`, its uniform blocks from
+    :func:`~repro.sim.rng.uniform_block_source` (the numpy generator when
+    ``vectorized``, which the engine requests for streams expected to
+    consume thousands of draws) — but all ``S`` cursors and buffered
+    variates live in flat arrays, so the engine draws one variate from
+    each of a whole batch of streams with a single fancy index
+    (:meth:`draw`).  Refills transform a block of uniforms with per-value
+    :func:`math.log` (``numpy.log`` differs from libm by one ulp on a few
+    per mille of arguments), keeping every variate bit-equal to
+    ``sample_time`` on the scalar stream:
+
+    * ``exponential`` — one uniform per variate, ``-log(1 - u) / rate``;
+    * ``hyperexponential`` — exactly two uniforms per variate (branch,
+      then magnitude), so a block of ``block`` uniforms yields ``block/2``
+      variates with the same pairing the scalar draw order produces.
+    """
+
+    __slots__ = ("rate", "distribution", "_block", "_draws_per_block",
+                 "_sources", "_buffers", "_cursors",
+                 "_probability", "_fast_rate", "_slow_rate")
+
+    def __init__(self, seeds: Sequence[int], rate: float, distribution: str,
+                 block: int = BATCH_BLOCK, vectorized: bool = True):
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate}")
+        if distribution not in _CONTINUOUS_DISTRIBUTIONS:
+            raise ConfigurationError(
+                f"variate table supports {_CONTINUOUS_DISTRIBUTIONS}, "
+                f"got {distribution!r}")
+        if block < 2 or block % 2:
+            raise ConfigurationError(
+                f"block must be a positive even count, got {block}")
+        self.rate = rate
+        self.distribution = distribution
+        self._block = block
+        self._draws_per_block = (block if distribution == "exponential"
+                                 else block // 2)
+        self._sources = [uniform_block_source(int(seed), vectorized)
+                         for seed in seeds]
+        self._buffers: _FloatArray = np.empty(
+            (len(self._sources), self._draws_per_block), dtype=np.float64)
+        # Cursors start exhausted: each row refills on first use.
+        self._cursors: _IntArray = np.full(
+            len(self._sources), self._draws_per_block, dtype=np.int64)
+        # The balanced-means two-phase constants of sample_time; rates are
+        # precomputed with its exact expressions (2.0 * p * rate order).
+        from repro.workload.arrivals import _HYPER_CV2
+
+        probability = 0.5 * (1.0 + math.sqrt(
+            (_HYPER_CV2 - 1.0) / (_HYPER_CV2 + 1.0)))
+        self._probability = probability
+        self._fast_rate = 2.0 * probability * rate
+        self._slow_rate = 2.0 * (1.0 - probability) * rate
+
+    def _refill(self, row: int) -> None:
+        uniforms = self._sources[row](self._block)
+        log = math.log
+        if self.distribution == "exponential":
+            rate = self.rate
+            values = [-log(1.0 - u) / rate for u in uniforms]
+        else:
+            probability = self._probability
+            fast, slow = self._fast_rate, self._slow_rate
+            pairs = iter(uniforms)
+            values = [-log(1.0 - v) / (fast if u < probability else slow)
+                      for u, v in zip(pairs, pairs)]
+        self._buffers[row, :] = values
+        self._cursors[row] = 0
+
+    def draw(self, rows: _IntArray) -> _FloatArray:
+        """One variate from each stream in ``rows`` (must be distinct)."""
+        cursors = self._cursors
+        position = cursors[rows]
+        if int(position.max()) >= self._draws_per_block:
+            for row in rows[position >= self._draws_per_block].tolist():
+                self._refill(row)
+            position = cursors[rows]
+        values: _FloatArray = self._buffers[rows, position]
+        cursors[rows] = position + 1
+        return values
+
+    def draw_one(self, row: int) -> float:
+        """Scalar :meth:`draw`, for grant bursts that repeat a stream."""
+        cursor = int(self._cursors[row])
+        if cursor >= self._draws_per_block:
+            self._refill(row)
+            cursor = 0
+        self._cursors[row] = cursor + 1
+        return float(self._buffers[row, cursor])
+
+
+@dataclass(frozen=True)
+class BatchedReplicationResult:
+    """Per-replication delay estimates of one batched run.
+
+    ``mean_delays[k]`` equals the ``mean_queueing_delay`` of the scalar
+    engine run with ``seeds[k]`` (NaN when no task was dispatched inside
+    the measurement window); ``delay_counts`` and ``completed`` carry the
+    matching sample and service-completion counts.
+    """
+
+    seeds: Tuple[int, ...]
+    mean_delays: Tuple[float, ...]
+    delay_counts: Tuple[int, ...]
+    completed: Tuple[int, ...]
+    simulated_time: float
+    measurement_start: float
+
+
+def _require_batchable(config: SystemConfig, workload: Workload,
+                       arbitration: str) -> None:
+    """Reject models whose scalar event order lockstep cannot reproduce."""
+    if config.network_type != "XBAR":
+        raise ConfigurationError(
+            f"batched engine supports XBAR configurations only, got "
+            f"{config.network_type} (use the scalar engine)")
+    if config.faults is not None:
+        raise ConfigurationError(
+            "batched engine does not support fault injection "
+            "(use the scalar engine)")
+    if arbitration != "priority":
+        raise ConfigurationError(
+            f"batched engine supports 'priority' arbitration only, got "
+            f"{arbitration!r} (use the scalar engine)")
+    if config.resources_per_port == math.inf:
+        raise ConfigurationError(
+            "batched engine needs a finite resource count per port")
+    for name, distribution in (
+            ("interarrival", workload.interarrival_distribution),
+            ("transmission", workload.transmission_distribution),
+            ("service", workload.service_distribution)):
+        if distribution not in _CONTINUOUS_DISTRIBUTIONS:
+            raise ConfigurationError(
+                f"batched engine needs a continuous {name} distribution "
+                f"(got {distribution!r}: equal timestamps would tie, and "
+                "tie order is a heap-insertion property the lockstep "
+                "calendar cannot reproduce)")
+
+
+class BatchedReplicationEngine:
+    """``R`` replications of one ``(config, workload)`` point in lockstep.
+
+    >>> from repro import SystemConfig, Workload
+    >>> from repro.sim.batched import BatchedReplicationEngine
+    >>> engine = BatchedReplicationEngine(
+    ...     SystemConfig.parse("16/1x16x8 XBAR/2"),
+    ...     Workload(0.05, 1.0, 0.1), seeds=range(100, 108))
+    >>> result = engine.run(horizon=2000.0, warmup=200.0)
+
+    May be run once per instance, like the scalar system.
+    """
+
+    def __init__(self, config: Union[SystemConfig, str], workload: Workload,
+                 seeds: Sequence[int], arbitration: str = "priority"):
+        if isinstance(config, str):
+            config = SystemConfig.parse(config)
+        _require_batchable(config, workload, arbitration)
+        seed_list = [int(seed) for seed in seeds]
+        if not seed_list:
+            raise ConfigurationError("batched engine needs at least one seed")
+        self.config = config
+        self.workload = workload
+        self.seeds: Tuple[int, ...] = tuple(seed_list)
+        self._started = False
+
+        replications = len(seed_list)
+        processors = config.processors
+        partitions = config.num_networks
+        ports = config.outputs_per_network
+        total_ports = partitions * ports
+        resources = int(config.resources_per_port)
+        self._replications = replications
+        self._processors = processors
+        self._partitions = partitions
+        self._per_partition = config.processors_per_network
+        self._ports = ports
+        self._resources = resources
+
+        # The calendar: [0, P) next arrivals, [P, 2P) transmission ends,
+        # [2P, 2P + total_ports * r) service ends, one row per replication.
+        width = 2 * processors + total_ports * resources
+        self._calendar: _FloatArray = np.full(
+            (replications, width), _INF, dtype=np.float64)
+        self._next_arrival = self._calendar[:, :processors]
+        self._transmission_end = self._calendar[:, processors:2 * processors]
+        self._service_end = self._calendar[:, 2 * processors:].reshape(
+            replications, total_ports, resources)
+
+        self._connected_port: _IntArray = np.full(
+            (replications, processors), -1, dtype=np.int64)
+        self._queue_capacity = _INITIAL_QUEUE_CAPACITY
+        self._queue_created: _FloatArray = np.zeros(
+            (replications, processors, self._queue_capacity),
+            dtype=np.float64)
+        self._queue_start: _IntArray = np.zeros(
+            (replications, processors), dtype=np.int64)
+        self._queue_length: _IntArray = np.zeros(
+            (replications, processors), dtype=np.int64)
+        self._bus_busy: NDArray[np.uint8] = np.zeros(
+            (replications, total_ports), dtype=np.uint8)
+        self._busy_resources: _IntArray = np.zeros(
+            (replications, total_ports), dtype=np.int64)
+        # Welford accumulators, matching TallyStat.record exactly.
+        self._delay_count: _IntArray = np.zeros(replications, dtype=np.int64)
+        self._delay_mean: _FloatArray = np.zeros(replications, dtype=np.float64)
+        self._completed: _IntArray = np.zeros(replications, dtype=np.int64)
+        self._transmission_table: VariateTable
+
+    def _build_tables(self, horizon: float
+                      ) -> Tuple[VariateTable, VariateTable, VariateTable]:
+        """Stream tables, one row per (replication, scalar stream).
+
+        Each table picks its refill backend by expected consumption: the
+        numpy generator's one-time construction only beats scalar block
+        generation for streams that will be drawn from thousands of times
+        (per-processor arrival streams usually will not; per-partition
+        transmission and service streams on long horizons will).
+        """
+        workload = self.workload
+        seed_list = self.seeds
+        processors = self._processors
+        partitions = self._partitions
+        arrivals_expected = workload.arrival_rate * horizon
+        # In a stable system every arrival is eventually dispatched and
+        # served, so per-partition streams see ~arrivals-per-partition.
+        dispatches_expected = (workload.arrival_rate * self._per_partition
+                               * horizon)
+        arrival_table = VariateTable(
+            [spawn_seed(seed, f"arrivals-{p}")
+             for seed in seed_list for p in range(processors)],
+            workload.arrival_rate, workload.interarrival_distribution,
+            vectorized=arrivals_expected >= _VECTORIZED_REFILL_CROSSOVER)
+        transmission_table = VariateTable(
+            [spawn_seed(seed, f"transmission-{g}")
+             for seed in seed_list for g in range(partitions)],
+            workload.transmission_rate, workload.transmission_distribution,
+            vectorized=dispatches_expected >= _VECTORIZED_REFILL_CROSSOVER)
+        service_table = VariateTable(
+            [spawn_seed(seed, f"service-{g}")
+             for seed in seed_list for g in range(partitions)],
+            workload.service_rate, workload.service_distribution,
+            vectorized=dispatches_expected >= _VECTORIZED_REFILL_CROSSOVER)
+        return arrival_table, transmission_table, service_table
+
+    # -- queue ring buffers -----------------------------------------------
+    def _grow_queues(self) -> None:
+        """Double the ring capacity, linearizing wrapped contents."""
+        capacity = self._queue_capacity
+        order = (self._queue_start[:, :, None]
+                 + np.arange(capacity, dtype=np.int64)) % capacity
+        linear = np.take_along_axis(self._queue_created, order, axis=2)
+        grown = np.zeros(
+            (self._replications, self._processors, capacity * 2),
+            dtype=np.float64)
+        grown[:, :, :capacity] = linear
+        self._queue_created = grown
+        self._queue_capacity = capacity * 2
+        self._queue_start.fill(0)
+
+    # -- the lockstep loop -------------------------------------------------
+    def run(self, horizon: float, warmup: float = 0.0) -> BatchedReplicationResult:
+        """Advance every replication to ``horizon``; discard ``warmup``."""
+        if self._started:
+            raise ConfigurationError(
+                "BatchedReplicationEngine.run may only be called once")
+        if warmup < 0 or horizon <= warmup:
+            raise ConfigurationError(
+                f"need 0 <= warmup < horizon, got warmup={warmup} "
+                f"horizon={horizon}")
+        self._started = True
+        replications = self._replications
+        processors = self._processors
+        partitions = self._partitions
+        per_partition = self._per_partition
+        ports = self._ports
+        resources = self._resources
+        calendar = self._calendar
+        single = partitions == 1
+        arrival_table, transmission_table, service_table = (
+            self._build_tables(horizon))
+        self._transmission_table = transmission_table
+
+        # Initial arrival per processor (draw order across streams is
+        # immaterial: streams are independent per name).
+        first = arrival_table.draw(
+            np.arange(replications * processors, dtype=np.int64))
+        self._next_arrival[:, :] = first.reshape(replications, processors)
+
+        times = np.empty(replications, dtype=np.float64)
+        request = np.zeros((replications, processors), dtype=np.uint8)
+        while True:
+            calendar.min(axis=1, out=times)
+            live = times <= horizon
+            reps = np.nonzero(live)[0]
+            if reps.size == 0:
+                break
+            if reps.size == replications:
+                now = times
+                slots = calendar.argmin(axis=1)
+            else:
+                now = times[live]
+                slots = calendar[reps].argmin(axis=1)
+            request.fill(0)
+            # Partitions each live replication must re-offer after its
+            # event (an arrival only redispatches its own processor).
+            broadcast = (None if single
+                         else np.full(reps.shape[0], -1, dtype=np.int64))
+
+            is_arrival = slots < processors
+            is_service = slots >= 2 * processors
+            is_transmission = ~is_arrival & ~is_service
+
+            # --- service completions -----------------------------------
+            if is_service.any():
+                sub = np.nonzero(is_service)[0]
+                sv_reps = reps[sub]
+                port_index = (slots[sub] - 2 * processors) // resources
+                calendar[sv_reps, slots[sub]] = _INF
+                self._busy_resources[sv_reps, port_index] -= 1
+                self._completed[sv_reps[now[sub] > warmup]] += 1
+                if broadcast is not None:
+                    broadcast[sub] = port_index // ports
+
+            # --- transmission completions ------------------------------
+            if is_transmission.any():
+                sub = np.nonzero(is_transmission)[0]
+                tr_reps = reps[sub]
+                rows = slots[sub] - processors
+                columns = self._connected_port[tr_reps, rows]
+                if single:
+                    port_index = columns
+                    service_rows = tr_reps
+                else:
+                    partition = rows // per_partition
+                    port_index = partition * ports + columns
+                    service_rows = tr_reps * partitions + partition
+                calendar[tr_reps, slots[sub]] = _INF
+                self._connected_port[tr_reps, rows] = -1
+                self._bus_busy[tr_reps, port_index] = 0
+                self._busy_resources[tr_reps, port_index] += 1
+                free_slot = (self._service_end[tr_reps, port_index]
+                             == _INF).argmax(axis=1)
+                durations = service_table.draw(service_rows)
+                self._service_end[tr_reps, port_index, free_slot] = (
+                    now[sub] + durations)
+                if broadcast is not None:
+                    broadcast[sub] = partition
+
+            # --- arrivals ----------------------------------------------
+            if is_arrival.any():
+                sub = np.nonzero(is_arrival)[0]
+                ar_reps = reps[sub]
+                rows = slots[sub]
+                lengths = self._queue_length[ar_reps, rows]
+                if (lengths >= self._queue_capacity).any():
+                    self._grow_queues()
+                position = ((self._queue_start[ar_reps, rows] + lengths)
+                            & (self._queue_capacity - 1))
+                self._queue_created[ar_reps, rows, position] = now[sub]
+                self._queue_length[ar_reps, rows] = lengths + 1
+                durations = arrival_table.draw(ar_reps * processors + rows)
+                calendar[ar_reps, rows] = now[sub] + durations
+                # The arriving processor redispatches if idle (it re-checks
+                # candidates; nothing else changed for its partition).
+                idle = self._transmission_end[ar_reps, rows] == _INF
+                request[ar_reps[idle], rows[idle]] = 1
+
+            # --- status broadcasts → batched priority matching ----------
+            if single:
+                if not is_arrival.all():
+                    b_reps = reps[~is_arrival]
+                    waiting = ((self._queue_length > 0)
+                               & (self._transmission_end == _INF))
+                    request[b_reps] = waiting[b_reps]
+                if not request.any():
+                    continue
+                acceptable = ((self._bus_busy == 0)
+                              & (self._busy_resources < resources))
+                grant_reps, grant_rows, grant_cols = match_pairs_batch(
+                    request, acceptable)
+                if grant_reps.size:
+                    self._apply_grants(0, grant_reps, grant_rows, grant_cols,
+                                       times, warmup)
+                continue
+            assert broadcast is not None
+            if (broadcast >= 0).any():
+                waiting = ((self._queue_length > 0)
+                           & (self._transmission_end == _INF))
+                for g in range(partitions):
+                    selected = broadcast == g
+                    if selected.any():
+                        b_reps = reps[selected]
+                        segment = slice(g * per_partition,
+                                        (g + 1) * per_partition)
+                        request[b_reps, segment] = waiting[b_reps, segment]
+            if not request.any():
+                continue
+            acceptable = ((self._bus_busy == 0)
+                          & (self._busy_resources < resources))
+            for g in range(partitions):
+                segment_requests = request[:, g * per_partition:
+                                           (g + 1) * per_partition]
+                if not segment_requests.any():
+                    continue
+                grant_reps, grant_rows, grant_cols = match_pairs_batch(
+                    segment_requests,
+                    acceptable[:, g * ports:(g + 1) * ports])
+                if grant_reps.size:
+                    self._apply_grants(g, grant_reps, grant_rows, grant_cols,
+                                       times, warmup)
+
+        mean_delays = tuple(
+            float(self._delay_mean[k]) if self._delay_count[k] else math.nan
+            for k in range(replications))
+        return BatchedReplicationResult(
+            seeds=self.seeds,
+            mean_delays=mean_delays,
+            delay_counts=tuple(int(c) for c in self._delay_count),
+            completed=tuple(int(c) for c in self._completed),
+            simulated_time=float(horizon),
+            measurement_start=float(warmup))
+
+    def _apply_grants(self, partition: int, grant_reps: _IntArray,
+                      grant_rows: _IntArray, grant_cols: _IntArray,
+                      times: _FloatArray, warmup: float) -> None:
+        """Dispatch the matched (replication, row, column) triples.
+
+        ``match_pairs_batch`` returns triples replication-major and
+        row-ascending — the scalar broadcast's dispatch order — so when
+        every replication appears once the queue pops, Welford updates and
+        transmission draws all vectorize; a replication granted several
+        connections in one broadcast replays them sequentially instead.
+        """
+        if partition:
+            rows = partition * self._per_partition + grant_rows
+            port_index = partition * self._ports + grant_cols
+            table_rows = grant_reps * self._partitions + partition
+        else:
+            rows = grant_rows
+            port_index = grant_cols
+            table_rows = (grant_reps if self._partitions == 1
+                          else grant_reps * self._partitions)
+        capacity = self._queue_capacity
+        if grant_reps.size == 1 or (grant_reps[1:] != grant_reps[:-1]).all():
+            moments = times[grant_reps]
+            starts = self._queue_start[grant_reps, rows]
+            created = self._queue_created[grant_reps, rows, starts]
+            self._queue_start[grant_reps, rows] = (starts + 1) & (capacity - 1)
+            self._queue_length[grant_reps, rows] -= 1
+            measured = moments > warmup
+            if measured.any():
+                m_reps = grant_reps[measured]
+                counts = self._delay_count[m_reps] + 1
+                self._delay_count[m_reps] = counts
+                delta = (moments[measured] - created[measured]
+                         ) - self._delay_mean[m_reps]
+                self._delay_mean[m_reps] += delta / counts
+            durations = self._transmission_table.draw(table_rows)
+            self._transmission_end[grant_reps, rows] = moments + durations
+            self._connected_port[grant_reps, rows] = grant_cols
+            self._bus_busy[grant_reps, port_index] = 1
+            return
+        for index in range(grant_reps.shape[0]):
+            k = int(grant_reps[index])
+            row = int(rows[index])
+            start = int(self._queue_start[k, row])
+            created_one = float(self._queue_created[k, row, start])
+            self._queue_start[k, row] = (start + 1) & (capacity - 1)
+            self._queue_length[k, row] -= 1
+            moment = float(times[k])
+            if moment > warmup:
+                count = int(self._delay_count[k]) + 1
+                self._delay_count[k] = count
+                delta_one = (moment - created_one) - float(self._delay_mean[k])
+                self._delay_mean[k] += delta_one / count
+            duration = self._transmission_table.draw_one(int(table_rows[index]))
+            self._transmission_end[k, row] = moment + duration
+            self._connected_port[k, row] = int(grant_cols[index])
+            self._bus_busy[k, int(port_index[index])] = 1
+
+
+def batched_replication_delays(config: Union[SystemConfig, str],
+                               workload: Workload, horizon: float,
+                               warmup: float, seeds: Sequence[int],
+                               arbitration: str = "priority") -> List[float]:
+    """Front door: per-replication mean queueing delays, seed for seed.
+
+    ``batched_replication_delays(c, w, h, u, seeds)[k]`` equals
+    ``simulate(c, w, horizon=h, warmup=u, seed=seeds[k]).mean_queueing_delay``
+    to the last bit — the lockstep invariant this module exists to keep.
+    """
+    engine = BatchedReplicationEngine(config, workload, seeds,
+                                      arbitration=arbitration)
+    return list(engine.run(horizon=horizon, warmup=warmup).mean_delays)
+
+
+def supports_batched(config: Union[SystemConfig, str], workload: Workload,
+                     arbitration: str = "priority") -> bool:
+    """Whether the batched engine can run this model (see module scope)."""
+    if isinstance(config, str):
+        config = SystemConfig.parse(config)
+    try:
+        _require_batchable(config, workload, arbitration)
+    except ConfigurationError:
+        return False
+    return True

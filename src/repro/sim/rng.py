@@ -6,16 +6,35 @@ numbers across configurations).  Streams are derived deterministically from
 a master seed and the stream name.
 
 This module is the *only* place in the package that may import the global
-:mod:`random` module; the ``repro lint`` rule SIM001 enforces that every
-other module receives an :class:`RngStream` (or a :class:`RandomStreams`
-family) from its caller, so all randomness is seeded and auditable.
+:mod:`random` module or :mod:`numpy.random`; the ``repro lint`` rule SIM001
+enforces that every other module receives an :class:`RngStream` /
+:class:`BatchedExpoStream` (or a :class:`RandomStreams` /
+:class:`BatchedStreams` family) from its caller, so all randomness is
+seeded and auditable.
+
+The batched classes back the lockstep replication engine
+(:mod:`repro.sim.batched`).  Their defining property is *bit-identity* with
+the scalar classes: :class:`BatchedExpoStream` transplants the Mersenne
+Twister state of ``random.Random(seed)`` into a
+``numpy.random.Generator(MT19937)`` — both produce 53-bit doubles by the
+same ``genrand_res53`` construction — so uniform blocks drawn vectorized
+are the exact sequence ``RngStream(seed).random()`` would produce one call
+at a time.  The exponential transform applies :func:`math.log` per value
+(NOT ``numpy.log``, whose SIMD path differs from libm by one ulp on a few
+per mille of arguments), keeping every variate equal to
+``RngStream.expovariate`` to the last bit.
 """
 
 from __future__ import annotations
 
 import hashlib
+import math
 import random  # lint: disable=SIM001 - the one sanctioned import site
-from typing import Any, Dict, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+import numpy.random as np_random  # lint: disable=SIM001 - sanctioned site
+from numpy.typing import NDArray
 
 
 def spawn_seed(master_seed: int, *keys: object) -> int:
@@ -112,3 +131,133 @@ class RandomStreams:
         """Shuffle ``items`` in place using stream ``name``; returns it."""
         self.stream(name).shuffle(items)
         return items
+
+
+# ---------------------------------------------------------------------------
+# Batched streams (the lockstep replication engine's randomness)
+# ---------------------------------------------------------------------------
+
+#: Uniforms generated per vectorized refill of a :class:`BatchedExpoStream`.
+BATCH_BLOCK = 256
+
+#: Words in a Mersenne Twister state vector.
+_MT_N = 624
+
+
+def uniform_block_source(seed: int, vectorized: bool = True
+                         ) -> "Callable[[int], List[float]]":
+    """A callable yielding successive uniform blocks of one scalar stream.
+
+    ``source(n)`` returns the next ``n`` doubles of
+    ``random.Random(seed)``'s sequence.  With ``vectorized=True`` the
+    blocks come from the state-transplanted numpy generator of
+    :func:`mt19937_generator` (fast per block, ~150 microseconds of
+    one-time numpy ``MT19937`` construction); with ``vectorized=False``
+    they come straight from ``random.Random`` (construction is near-free,
+    each block costs a Python comprehension).  Both emit the identical
+    bit-exact sequence — callers pick by expected consumption: the numpy
+    construction only pays for itself after a few thousand draws.
+    """
+    if vectorized:
+        generator = mt19937_generator(seed)
+
+        def vector_block(count: int) -> List[float]:
+            values: List[float] = generator.random(count).tolist()
+            return values
+
+        return vector_block
+    twister = random.Random(seed)
+
+    def scalar_block(count: int) -> List[float]:
+        draw = twister.random
+        return [draw() for _ in range(count)]
+
+    return scalar_block
+
+
+def mt19937_generator(seed: int) -> np_random.Generator:
+    """A numpy Generator producing ``random.Random(seed)``'s exact stream.
+
+    ``random.Random`` and numpy's ``MT19937`` bit generator share the
+    Mersenne Twister core and the 53-bit double construction
+    (``genrand_res53``), but seed it differently — so instead of seeding
+    numpy directly, the fully initialized state vector of
+    ``random.Random(seed)`` is transplanted into the bit generator.  The
+    resulting ``Generator.random(n)`` emits, vectorized, the identical
+    sequence of doubles ``random.Random(seed).random()`` yields one call at
+    a time (a regression test asserts this for thousands of draws).
+    """
+    version, internal, _gauss_next = random.Random(seed).getstate()
+    if version != 3:  # pragma: no cover - stable since Python 2.6
+        raise RuntimeError(f"unexpected random.Random state version {version}")
+    key, pos = internal[:_MT_N], internal[_MT_N]
+    bit_generator = np_random.MT19937()
+    bit_generator.state = {
+        "bit_generator": "MT19937",
+        "state": {"key": np.array(key, dtype=np.uint32), "pos": pos},
+    }
+    return np_random.Generator(bit_generator)
+
+
+class BatchedExpoStream:
+    """A named stream drawing uniforms in vectorized blocks.
+
+    Bit-identical to :class:`RngStream` with the same seed: uniform blocks
+    come from :func:`mt19937_generator`, and :meth:`expovariate` applies
+    ``-log(1 - u) / rate`` with :func:`math.log` — the exact float
+    operations of ``random.Random.expovariate``.  Consumption order is the
+    stream's only contract: the k-th call here returns what the k-th call
+    on the scalar stream would.
+    """
+
+    __slots__ = ("name", "_generator", "_buffer", "_cursor", "_block")
+
+    def __init__(self, seed: int = 0, name: str = "",
+                 block: int = BATCH_BLOCK):
+        if block < 1:
+            raise ValueError(f"block size must be positive, got {block}")
+        self.name = name
+        self._generator = mt19937_generator(seed)
+        self._block = block
+        self._buffer: NDArray[np.float64] = self._generator.random(block)
+        self._cursor = 0
+
+    def random(self) -> float:
+        """The next uniform on [0, 1) (same sequence as ``RngStream.random``)."""
+        if self._cursor >= self._buffer.shape[0]:
+            self._buffer = self._generator.random(self._block)
+            self._cursor = 0
+        value = float(self._buffer[self._cursor])
+        self._cursor += 1
+        return value
+
+    def expovariate(self, rate: float) -> float:
+        """One exponential variate, bit-equal to ``RngStream.expovariate``."""
+        return -math.log(1.0 - self.random()) / rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BatchedExpoStream {self.name!r}>"
+
+
+class BatchedStreams:
+    """A family of :class:`BatchedExpoStream`, mirroring :class:`RandomStreams`.
+
+    Derives per-name seeds by the identical hash (equivalently
+    ``spawn_seed(seed, name)``), so ``BatchedStreams(s).stream(n)`` draws
+    the very sequence ``RandomStreams(s).stream(n)`` would — the invariant
+    the lockstep replication engine's bit-identity rests on.
+    """
+
+    def __init__(self, seed: int = 0, block: int = BATCH_BLOCK):
+        self.seed = int(seed)
+        self._block = block
+        self._streams: Dict[str, BatchedExpoStream] = {}
+
+    def stream(self, name: str) -> BatchedExpoStream:
+        """Return (creating on first use) the stream called ``name``."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = BatchedExpoStream(spawn_seed(self.seed, name), name=name,
+                                       block=self._block)
+            self._streams[name] = stream
+        return stream

@@ -1,0 +1,211 @@
+"""Tests for the lockstep batched replication engine.
+
+The engine's single load-bearing property is *bit-identity*: replication k
+of a batched run must equal the scalar engine run with the same seed, to
+the last bit of the mean-delay estimate.  Everything else — the vectorized
+stream tables, the sweep-point integration, the CRN comparison — leans on
+that invariant, so these tests pin it over a randomized configuration grid
+and then check the surrounding plumbing.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.system import simulate
+from repro.errors import ConfigurationError
+from repro.sim import (
+    BatchedReplicationEngine,
+    VariateTable,
+    batched_replication_delays,
+    spawn_seed,
+    supports_batched,
+    uniform_block_source,
+)
+from repro.sim.rng import RngStream
+from repro.workload.arrivals import Workload, sample_time
+
+
+def _random_cases(count, master_seed=7):
+    """Randomized (config, workload) grid spanning the engine's scope."""
+    rng = random.Random(master_seed)
+    cases = []
+    for _ in range(count):
+        processors = rng.choice([2, 4, 8, 12, 16])
+        partitions = rng.choice([1, 2])
+        if processors % partitions:
+            partitions = 1
+        buses = rng.choice([1, 2, 4, 8])
+        resources = rng.choice([1, 2, 3])
+        rho = rng.choice([0.02, 0.05, 0.08, 0.12])
+        distribution = rng.choice(["exponential", "hyperexponential"])
+        config = SystemConfig.parse(
+            f"{processors}/{partitions}x{processors // partitions}x{buses} "
+            f"XBAR/{resources}")
+        workload = Workload(rho, 1.0, 0.1,
+                            service_distribution=distribution)
+        cases.append((config, workload))
+    return cases
+
+
+class TestLockstepBitIdentity:
+    def test_randomized_grid_matches_scalar_engine(self):
+        """Per-replication delays equal scalar ``simulate`` bit for bit."""
+        for index, (config, workload) in enumerate(_random_cases(8)):
+            seeds = [2000 + index * 10 + k for k in range(4)]
+            horizon, warmup = 400.0, 50.0
+            batched = batched_replication_delays(
+                config, workload, horizon=horizon, warmup=warmup, seeds=seeds)
+            for k, seed in enumerate(seeds):
+                scalar = simulate(config, workload, horizon=horizon,
+                                  warmup=warmup,
+                                  seed=seed).mean_queueing_delay
+                if math.isnan(scalar):
+                    assert math.isnan(batched[k])
+                else:
+                    assert batched[k] == scalar, (
+                        f"replication {k} of {config} diverged")
+
+    def test_result_carries_counts_and_window(self):
+        config = SystemConfig.parse("4/1x4x2 XBAR/2")
+        workload = Workload(0.05, 1.0, 0.1)
+        engine = BatchedReplicationEngine(config, workload, seeds=[1, 2, 3])
+        result = engine.run(horizon=500.0, warmup=50.0)
+        assert result.seeds == (1, 2, 3)
+        assert len(result.mean_delays) == 3
+        assert all(count >= 0 for count in result.delay_counts)
+        assert all(done > 0 for done in result.completed)
+        assert result.simulated_time == 500.0
+        assert result.measurement_start == 50.0
+        with pytest.raises(ConfigurationError):
+            engine.run(horizon=500.0, warmup=50.0)  # single-shot, like scalar
+
+    def test_scope_gate(self):
+        workload = Workload(0.05, 1.0, 0.1)
+        assert supports_batched("16/1x16x8 XBAR/2", workload)
+        assert not supports_batched("16/1x16x16 OMEGA/2", workload)
+        assert not supports_batched("16/16x1x1 SBUS/inf", workload)
+        assert not supports_batched("16/1x16x8 XBAR/2", workload,
+                                    arbitration="random")
+        deterministic = Workload(0.05, 1.0, 0.1,
+                                 service_distribution="deterministic")
+        assert not supports_batched("16/1x16x8 XBAR/2", deterministic)
+        with pytest.raises(ConfigurationError):
+            BatchedReplicationEngine("16/1x16x16 OMEGA/2", workload, seeds=[1])
+        with pytest.raises(ConfigurationError):
+            BatchedReplicationEngine("16/1x16x8 XBAR/2", workload, seeds=[])
+
+
+class TestVariateStreams:
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_uniform_block_sources_agree_with_random_random(self, vectorized):
+        source = uniform_block_source(1234, vectorized)
+        reference = random.Random(1234)
+        drawn = source(100) + source(37) + source(256)
+        assert drawn == [reference.random() for _ in range(393)]
+
+    @pytest.mark.parametrize("distribution", ["exponential",
+                                              "hyperexponential"])
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_variate_table_matches_sample_time(self, distribution, vectorized):
+        """Row s of the table draws exactly the scalar stream's variates."""
+        seeds = [spawn_seed(9, "arrivals-0"), spawn_seed(9, "service-1")]
+        table = VariateTable(seeds, rate=0.4, distribution=distribution,
+                             block=16, vectorized=vectorized)
+        for row, seed in enumerate(seeds):
+            stream = RngStream(seed)
+            for _ in range(40):
+                expected = sample_time(stream, 0.4, distribution)
+                assert table.draw_one(row) == expected
+
+    def test_variate_table_validation(self):
+        with pytest.raises(ConfigurationError):
+            VariateTable([1], rate=0.0, distribution="exponential")
+        with pytest.raises(ConfigurationError):
+            VariateTable([1], rate=1.0, distribution="deterministic")
+        with pytest.raises(ConfigurationError):
+            VariateTable([1], rate=1.0, distribution="exponential", block=3)
+
+
+class TestSweepPointEngine:
+    def test_unknown_engine_rejected(self):
+        from repro.analysis.sweep import simulated_point
+
+        with pytest.raises(ConfigurationError):
+            simulated_point("16/1x16x8 XBAR/2", 0.1, 0.5, engine="warp")
+
+    def test_batched_point_reports_replication_interval(self):
+        from repro.analysis.sweep import simulated_point
+
+        point = simulated_point("16/1x16x8 XBAR/2", 0.1, 0.4, horizon=2_000.0,
+                                seed=5, engine="batched")
+        assert point.normalized_delay is not None
+        assert point.ci_halfwidth is not None and point.ci_halfwidth > 0
+
+    def test_batched_point_falls_back_outside_scope(self):
+        from repro.analysis.sweep import simulated_point
+
+        scalar = simulated_point("8/1x8x8 OMEGA/2", 0.1, 0.4, horizon=1_500.0,
+                                 seed=5)
+        batched = simulated_point("8/1x8x8 OMEGA/2", 0.1, 0.4, horizon=1_500.0,
+                                  seed=5, engine="batched")
+        assert batched == scalar
+
+    def test_saturated_point_short_circuits(self):
+        from repro.analysis.sweep import simulated_point
+
+        point = simulated_point("16/1x16x8 XBAR/2", 0.1, 5.0, engine="batched")
+        assert point.normalized_delay is None
+
+
+class TestCommonRandomNumbers:
+    def test_crn_halfwidth_no_wider_than_unpaired(self):
+        """The acceptance pin: pairing cancels common workload noise."""
+        from repro.analysis.replication import compare_with_replications
+        from repro.analysis.sweep import workload_at
+
+        workload = workload_at(0.5, 0.1)
+        shared = dict(workload=workload, horizon=1_500.0, warmup=150.0,
+                      replications=8, base_seed=100, engine="batched")
+        first, second = "16/1x16x8 XBAR/2", "16/1x16x16 XBAR/1"
+        _, paired_half, _ = compare_with_replications(
+            first, second, crn=True, **shared)
+        _, unpaired_half, _ = compare_with_replications(
+            first, second, crn=False, **shared)
+        assert paired_half <= unpaired_half
+
+    def test_crn_comparison_engines_agree(self):
+        """Batched CRN comparison equals the scalar one bit for bit."""
+        from repro.analysis.replication import compare_with_replications
+        from repro.analysis.sweep import workload_at
+
+        workload = workload_at(0.4, 0.1)
+        shared = dict(workload=workload, horizon=800.0, warmup=80.0,
+                      replications=4, base_seed=50, crn=True)
+        first, second = "8/1x8x4 XBAR/2", "8/1x8x8 XBAR/1"
+        scalar = compare_with_replications(first, second, engine="scalar",
+                                           **shared)
+        batched = compare_with_replications(first, second, engine="batched",
+                                            **shared)
+        assert scalar[0] == batched[0]
+        assert scalar[1] == batched[1]
+
+
+class TestBatchedEvaluator:
+    def test_batched_wave_matches_scalar_units(self):
+        """replication-delay-batched == one replication-delay per seed."""
+        from repro.runner.evaluators import get_evaluator
+
+        params = {
+            "config": "8/1x8x4 XBAR/2",
+            "arrival_rate": 0.05, "transmission_rate": 1.0,
+            "service_rate": 0.1,
+            "horizon": 600.0, "warmup": 60.0,
+            "replications": 4,
+        }
+        wave = get_evaluator("replication-delay-batched")(300, params)
+        scalar = get_evaluator("replication-delay")
+        for index, value in enumerate(wave):
+            assert value == scalar(300 + index, params)
