@@ -7,8 +7,9 @@ Commands:
 * ``run``        — regenerate an experiment through the parallel sweep
   runner: ``--jobs N`` fans figure points out over worker processes and
   results are memoized in the content-addressed cache;
-* ``cache``      — inspect (``stats``), empty (``clear``), or size-bound
-  (``prune --max-size``) that cache;
+* ``cache``      — inspect (``stats``), empty (``clear``), size-bound
+  (``prune --max-size``), or integrity-check (``verify [--repair]``) that
+  cache;
 * ``simulate``   — run one configuration at a load point;
 * ``solve``      — exact Markov-chain analysis of a shared bus;
 * ``recommend``  — the Table II advisor over the standard candidates;
@@ -69,6 +70,18 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
     run.add_argument("--no-cache", action="store_true",
                      help="recompute every point, bypassing the cache")
+    run.add_argument("--resume", action="store_true",
+                     help="resume an interrupted sweep: replay the sweep "
+                          "journal and recompute only the missing points "
+                          "(requires the cache)")
+    run.add_argument("--max-attempts", type=int, default=3,
+                     help="executions per point before the supervisor "
+                          "degrades it and, as a last resort, fails the "
+                          "sweep (default: 3)")
+    run.add_argument("--unit-timeout", type=float, default=None,
+                     help="seconds before an in-flight point counts as "
+                          "hung and its worker pool is recycled "
+                          "(default: no timeout)")
     run.add_argument("--plot", action="store_true",
                      help="draw delay figures as an ASCII chart")
     run.add_argument("--profile", action="store_true",
@@ -80,13 +93,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     cache = commands.add_parser(
         "cache", help="inspect, clear, or prune the sweep result cache")
-    cache.add_argument("action", choices=["stats", "clear", "prune"])
+    cache.add_argument("action", choices=["stats", "clear", "prune", "verify"])
     cache.add_argument("--cache-dir", default=None,
                        help="cache directory "
                             "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
     cache.add_argument("--max-size", type=float, default=None, metavar="MB",
                        help="prune: evict least-recently-used entries "
                             "until the cache fits in this many megabytes")
+    cache.add_argument("--repair", action="store_true",
+                       help="verify: quarantine corrupted entries and "
+                            "evict unverifiable legacy-format ones")
 
     simulate = commands.add_parser(
         "simulate", help="simulate one configuration at a load point")
@@ -181,7 +197,7 @@ def _command_run(args) -> int:
         format_series_table,
         run_experiment,
     )
-    from repro.runner import ResultCache, SweepRunner
+    from repro.runner import ResultCache, SupervisorPolicy, SweepRunner
 
     if args.exp_id not in FIGURE_SPECS:
         # Non-figure experiments have no point decomposition (and nothing
@@ -191,8 +207,15 @@ def _command_run(args) -> int:
         print(result.report)
         return 0
 
+    if args.resume and args.no_cache:
+        print("error: --resume needs the cache; it cannot be combined "
+              "with --no-cache", file=sys.stderr)
+        return 2
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = SweepRunner(jobs=args.jobs, cache=cache)
+    policy = SupervisorPolicy(max_attempts=args.max_attempts,
+                              unit_timeout=args.unit_timeout,
+                              seed=args.seed)
+    runner = SweepRunner(jobs=args.jobs, cache=cache, supervisor=policy)
     profiler = None
     if args.profile:
         import cProfile
@@ -200,7 +223,8 @@ def _command_run(args) -> int:
         profiler.enable()
     start = time.perf_counter()
     series = figure_series(args.exp_id, quality=args.quality, seed=args.seed,
-                           runner=runner, engine=args.engine)
+                           runner=runner, engine=args.engine,
+                           resume=args.resume)
     elapsed = time.perf_counter() - start
     if profiler is not None:
         profiler.disable()
@@ -216,6 +240,9 @@ def _command_run(args) -> int:
     print(f"{len(outcomes)} points in {elapsed:.2f}s "
           f"({runner.effective_jobs} job(s), {hits} cache hit(s), "
           f"cache {'off' if cache is None else cache.root})")
+    report = runner.last_report
+    if not report.clean or report.resumed:
+        print(report.format())
     if profiler is not None:
         import pstats
         profiler.dump_stats(args.profile_out)
@@ -246,6 +273,10 @@ def _command_cache(args) -> int:
               f"({format_bytes(remaining)} remain, "
               f"limit {format_bytes(max_bytes)})")
         return 0
+    if args.action == "verify":
+        report = cache.verify(repair=args.repair)
+        print(report.format())
+        return 0 if report.clean else 1
     print(cache.stats().format())
     return 0
 

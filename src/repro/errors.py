@@ -14,7 +14,8 @@ The hierarchy::
     │   └── RetryExhaustedError a severed/blocked request ran out of retries
     ├── AnalysisError           queueing/Markov analysis impossible
     │   └── UnstableSystemError offered load at or beyond capacity
-    └── WorkerError             a sweep work unit failed in a pool worker
+    ├── WorkerError             a sweep work unit failed in a pool worker
+    └── ChaosError              a failure injected by the chaos harness
 
 :class:`FaultInjectionError` is a :class:`SimulationError` because a bad
 injection (failing a component that does not exist, repairing one that is
@@ -125,3 +126,14 @@ class WorkerError(ReproError):
                 if remote_traceback.strip() else "unknown error"
             message = f"work unit {digest[:12]} failed in worker: {summary}"
         super().__init__(message)
+
+
+class ChaosError(ReproError):
+    """A failure deterministically injected by the execution chaos harness.
+
+    Raised (or simulated via a worker hard-exit) by
+    :class:`repro.runner.chaos.ChaosPolicy` when ``REPRO_CHAOS`` enables
+    fault injection against the execution layer itself.  The supervised
+    runner treats it like any other transient worker failure: retry with
+    backoff, then degrade.
+    """

@@ -169,7 +169,7 @@ def figure_series(exp_id: str, quality: str = "fast",
                   intensities: Optional[Sequence[float]] = None,
                   seed: int = 1, jobs: Optional[int] = None,
                   runner=None, solver: str = "dense",
-                  engine: str = "scalar") -> List[Series]:
+                  engine: str = "scalar", resume: bool = False) -> List[Series]:
     """Materialize every curve of a delay figure.
 
     Points are independent seeded work units executed through a
@@ -177,14 +177,31 @@ def figure_series(exp_id: str, quality: str = "fast",
     over processes with ``jobs`` (or the ``REPRO_JOBS`` environment
     variable), and memoized when the runner carries a result cache.  The
     assembled series are identical whatever the worker count.
+
+    When the runner carries a cache, the run is journaled under a digest of
+    the figure identity (next to the cache, in ``_journals/``) so that a
+    killed sweep leaves a checkpoint behind; ``resume=True`` replays that
+    journal and recomputes only the missing points.  Resume accounting ends
+    up on ``runner.last_report``.
     """
-    from repro.runner import SweepRunner
+    from repro.runner import SweepJournal, SweepRunner, code_version
 
     spec, grid, units = figure_work_units(exp_id, quality=quality,
                                           intensities=intensities, seed=seed,
                                           solver=solver, engine=engine)
     if runner is None:
         runner = SweepRunner(jobs=jobs)
+    if runner.journal is None and runner.cache is not None:
+        runner.journal = SweepJournal.for_sweep(
+            runner.cache.root, "figure", exp_id, quality, seed, solver,
+            engine, code_version())
+    if resume:
+        if runner.cache is None:
+            raise ConfigurationError(
+                "resume requires a result cache: completed points are "
+                "replayed from it, so a cache-less runner has nothing to "
+                "resume from")
+        runner.resume = True
     points = runner.run_values(units)
     series = []
     for index, (label, triplet) in enumerate(spec.curves):

@@ -7,6 +7,15 @@ content-addressed :class:`WorkUnit` objects, fans them out over a
 :class:`ResultCache`, with the contract that parallel results are
 byte-identical to serial results for the same seeds.
 
+Execution is fault-tolerant: a :class:`Supervisor` retries failed or
+timed-out units with deterministic backoff and degrades gracefully
+(batched engine → scalar, sweep solver → dense, pool → serial) before
+giving up; a :class:`SweepJournal` checkpoints completed units so killed
+sweeps resume where they stopped; cache entries are checksummed envelopes
+and corruption is quarantined, never served.  A :class:`ChaosPolicy`
+(``REPRO_CHAOS``) injects worker crashes, hangs, and cache corruption
+deterministically to prove all of the above under test.
+
 Quick start::
 
     from repro.experiments import figure_series
@@ -18,17 +27,39 @@ Quick start::
 
 from repro.runner.cache import (
     CACHE_DIR_ENV,
+    ENVELOPE_VERSION,
+    QUARANTINE_DIR,
     CacheStats,
     ResultCache,
+    VerifyReport,
+    decode_entry,
     default_cache_dir,
+    encode_entry,
     format_bytes,
 )
-from repro.runner.evaluators import EVALUATORS, evaluator, get_evaluator
+from repro.runner.chaos import CHAOS_ENV, ChaosPolicy, resolve_chaos
+from repro.runner.evaluators import (
+    EVALUATORS,
+    evaluator,
+    execute_payload,
+    get_evaluator,
+)
+from repro.runner.journal import (
+    JournalSummary,
+    SweepJournal,
+    sweep_digest,
+)
 from repro.runner.pool import (
     JOBS_ENV,
     SweepRunner,
     UnitOutcome,
     resolve_jobs,
+)
+from repro.runner.supervisor import (
+    RunReport,
+    Supervisor,
+    SupervisorPolicy,
+    degrade_unit,
 )
 from repro.runner.workunit import (
     CACHE_SCHEMA_VERSION,
@@ -42,20 +73,36 @@ from repro.runner.workunit import (
 __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA_VERSION",
+    "CHAOS_ENV",
     "DEFAULT_BACKEND",
+    "ENVELOPE_VERSION",
+    "QUARANTINE_DIR",
     "CacheStats",
+    "ChaosPolicy",
     "EVALUATORS",
     "JOBS_ENV",
+    "JournalSummary",
     "ResultCache",
+    "RunReport",
+    "Supervisor",
+    "SupervisorPolicy",
+    "SweepJournal",
     "SweepRunner",
     "UnitOutcome",
+    "VerifyReport",
     "WorkUnit",
     "canonical_params",
     "code_version",
+    "decode_entry",
     "default_cache_dir",
+    "degrade_unit",
+    "encode_entry",
     "evaluator",
+    "execute_payload",
     "format_bytes",
     "get_evaluator",
+    "resolve_chaos",
     "resolve_jobs",
+    "sweep_digest",
     "work_unit_digest",
 ]

@@ -1,0 +1,180 @@
+"""Deterministic chaos injection against the execution layer itself.
+
+PR 1 taught the *modeled* fabrics to fail (:mod:`repro.faults`); this
+module turns the same discipline onto our own execution stack.  A
+:class:`ChaosPolicy` deterministically injects
+
+* **worker crashes** (``crash``) — the worker process hard-exits, breaking
+  the process pool exactly like a segfault or an OOM kill would;
+* **soft failures** (``fail``) — the evaluator raises
+  :class:`~repro.errors.ChaosError`, the shape of any transient exception;
+* **hangs** (``hang``) — the worker sleeps ``hang_seconds`` before failing,
+  exercising the supervisor's per-unit timeout and pool reclamation;
+* **cache corruption** (``corrupt``) — bytes of a freshly written cache
+  entry are flipped, exercising checksum verification and quarantine.
+
+Every decision is a pure function of ``(policy seed, kind, unit digest,
+attempt)`` via :func:`repro.sim.rng.spawn_seed` — the same unit fails the
+same way on every run at the same attempt, and *succeeds* on a later
+attempt with probability ``1 - rate``, so chaos runs are themselves
+reproducible.  Policies travel to pool workers either explicitly (the
+supervisor ships the spec string with each payload) or through the
+``REPRO_CHAOS`` environment variable, e.g.::
+
+    REPRO_CHAOS="crash=0.1,corrupt=0.05,hang=0.02,hang_seconds=5,seed=1"
+"""
+
+from __future__ import annotations
+
+import os
+import time  # lint: disable=SIM002 - injected wall-clock hangs, not sim time
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+from repro.errors import ChaosError, ConfigurationError
+from repro.sim.rng import spawn_seed
+
+#: Environment variable carrying a chaos spec into every process.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Spec keys that are injection rates (probabilities in [0, 1]).
+RATE_KEYS = ("crash", "fail", "hang", "corrupt")
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Deterministic execution-fault injection rates.
+
+    All rates are probabilities per (unit, attempt); ``hang_seconds`` is
+    how long an injected hang sleeps before failing (long enough for the
+    supervisor's ``unit_timeout`` to fire first when one is configured,
+    bounded so a timeout-less run still terminates).
+    """
+
+    crash: float = 0.0
+    fail: float = 0.0
+    hang: float = 0.0
+    corrupt: float = 0.0
+    hang_seconds: float = 30.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for key in RATE_KEYS:
+            rate = getattr(self, key)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"chaos rate {key} must be in [0, 1], got {rate}")
+        if self.hang_seconds <= 0:
+            raise ConfigurationError(
+                f"hang_seconds must be positive, got {self.hang_seconds}")
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosPolicy":
+        """Build a policy from a ``key=value,...`` spec string."""
+        values: dict = {}
+        for field in spec.split(","):
+            field = field.strip()
+            if not field:
+                continue
+            key, separator, text = field.partition("=")
+            key = key.strip()
+            if not separator or key not in (*RATE_KEYS,
+                                            "hang_seconds", "seed"):
+                raise ConfigurationError(
+                    f"bad chaos spec field {field!r}; expected "
+                    f"key=value with key in {(*RATE_KEYS, 'hang_seconds', 'seed')}")
+            try:
+                values[key] = int(text) if key == "seed" else float(text)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad chaos spec value in {field!r}") from None
+        return cls(**values)
+
+    @classmethod
+    def from_env(cls) -> "ChaosPolicy":
+        """The policy named by ``REPRO_CHAOS`` (inactive when unset)."""
+        return _parse_cached(os.environ.get(CHAOS_ENV, "").strip())
+
+    def spec(self) -> str:
+        """A spec string that parses back to this policy."""
+        parts = [f"{key}={getattr(self, key)}" for key in RATE_KEYS
+                 if getattr(self, key) > 0.0]
+        parts.append(f"hang_seconds={self.hang_seconds}")
+        parts.append(f"seed={self.seed}")
+        return ",".join(parts)
+
+    # -- decisions --------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether any injection can ever fire."""
+        return any(getattr(self, key) > 0.0 for key in RATE_KEYS)
+
+    def _draw(self, kind: str, *keys: object) -> float:
+        """A uniform on [0, 1), pure in (seed, kind, keys)."""
+        return spawn_seed(self.seed, "chaos", kind, *keys) / 2.0 ** 64
+
+    def should_corrupt(self, digest: str) -> bool:
+        """Whether the cache entry for ``digest`` gets its bytes flipped."""
+        return self.corrupt > 0.0 and self._draw("corrupt", digest) < self.corrupt
+
+    def corrupt_bytes(self, digest: str, blob: bytes) -> bytes:
+        """``blob`` with one deterministically chosen byte flipped."""
+        if not blob:
+            return blob
+        # Land in the second half so the flip hits payload bytes, not just
+        # the envelope header — checksum verification must catch it either
+        # way, but payload damage is the nastier case.
+        offset = len(blob) // 2
+        span = max(1, len(blob) - offset)
+        position = offset + spawn_seed(self.seed, "chaos", "corrupt-at",
+                                       digest) % span
+        flipped = blob[position] ^ 0xFF
+        return blob[:position] + bytes([flipped]) + blob[position + 1:]
+
+    def maybe_inject(self, digest: str, attempt: int,
+                     in_worker: bool = True) -> None:
+        """Fire at most one injection for this (unit, attempt) execution.
+
+        In a pool worker an injected crash hard-exits the process (the
+        parent sees ``BrokenProcessPool``) and an injected hang sleeps
+        ``hang_seconds`` before failing.  Inline (serial) execution cannot
+        kill the calling process or block the supervisor, so both degrade
+        to an immediate :class:`~repro.errors.ChaosError`.
+        """
+        if not self.active:
+            return
+        if self.crash > 0.0 and self._draw("crash", digest, attempt) < self.crash:
+            if in_worker:
+                os._exit(3)
+            raise ChaosError(
+                f"injected crash for unit {digest[:12]} (attempt {attempt})")
+        if self.fail > 0.0 and self._draw("fail", digest, attempt) < self.fail:
+            raise ChaosError(
+                f"injected failure for unit {digest[:12]} (attempt {attempt})")
+        if self.hang > 0.0 and self._draw("hang", digest, attempt) < self.hang:
+            if in_worker:
+                time.sleep(self.hang_seconds)
+            raise ChaosError(
+                f"injected hang for unit {digest[:12]} (attempt {attempt}, "
+                f"slept {self.hang_seconds if in_worker else 0.0}s)")
+
+
+@lru_cache(maxsize=32)
+def _parse_cached(spec: str) -> ChaosPolicy:
+    if not spec:
+        return ChaosPolicy()
+    return ChaosPolicy.parse(spec)
+
+
+def resolve_chaos(explicit: Optional[ChaosPolicy] = None,
+                  spec: Optional[str] = None) -> ChaosPolicy:
+    """The effective policy: explicit object, then spec string, then env."""
+    if explicit is not None:
+        return explicit
+    if spec:
+        return _parse_cached(spec)
+    return ChaosPolicy.from_env()

@@ -18,9 +18,12 @@ Registered evaluators:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Mapping
+import time  # lint: disable=SIM002 - wall time of workers, not simulated time
+import traceback
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.runner.chaos import resolve_chaos
 from repro.runner.workunit import DEFAULT_BACKEND
 
 Evaluator = Callable[..., Any]
@@ -50,6 +53,36 @@ def get_evaluator(evaluator_id: str) -> Evaluator:
             f"unknown evaluator {evaluator_id!r}; "
             f"expected one of {sorted(EVALUATORS)}")
     return function
+
+
+def execute_payload(
+        payload: Tuple[str, int, dict, str, str],
+        attempt: int = 0,
+        chaos_spec: Optional[str] = None,
+        in_worker: bool = True,
+) -> Tuple[str, Any, Optional[str], float]:
+    """Run one unit's payload: returns ``(digest, value, error, wall_time)``.
+
+    This is the function the process pool ships to workers, so it lives at
+    module level (workers unpickle it by qualified name; SIM005).  All
+    exceptions — including evaluator-lookup failures and injected chaos —
+    are marshalled as traceback text so one bad unit cannot poison the
+    pool.  ``attempt`` salts the chaos draws: a unit that crashed on one
+    attempt rolls fresh dice on the next, which is what makes retry an
+    effective recovery under a constant injection rate.  ``chaos_spec``
+    carries an explicit policy across the process boundary; when absent,
+    ``REPRO_CHAOS`` (inherited by workers) applies.
+    """
+    evaluator_id, seed, params, backend, digest = payload
+    start = time.perf_counter()
+    try:
+        chaos = resolve_chaos(spec=chaos_spec)
+        if chaos.active:
+            chaos.maybe_inject(digest, attempt, in_worker=in_worker)
+        value = get_evaluator(evaluator_id)(seed, params, backend)
+    except BaseException:
+        return digest, None, traceback.format_exc(), time.perf_counter() - start
+    return digest, value, None, time.perf_counter() - start
 
 
 #: Per-process solver context for the ``sweep`` backend.  Workers are

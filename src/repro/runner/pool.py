@@ -8,9 +8,15 @@ guarantees that by construction: units are pure functions of their digest
 material, results are reassembled in submission order, and the single-job
 path executes inline with no pool at all.
 
+Execution is *supervised* (see :mod:`repro.runner.supervisor`): per-unit
+failures, worker timeouts, and pool breakage are retried with
+deterministic backoff and then walked down a degradation ladder instead of
+aborting the sweep; a :class:`~repro.runner.journal.SweepJournal` can
+checkpoint completed units so a killed sweep resumes where it stopped.
 Worker exceptions cannot cross the process boundary intact, so the worker
-wrapper catches everything, marshals the traceback as text, and the parent
-re-raises it as :class:`~repro.errors.WorkerError`.
+wrapper (:func:`repro.runner.evaluators.execute_payload`) catches
+everything, marshals the traceback as text, and the parent re-raises it as
+:class:`~repro.errors.WorkerError` only once the retry budget is spent.
 
 Important: spawning workers re-imports the calling module on some
 platforms, so scripts that drive a :class:`SweepRunner` must guard their
@@ -20,19 +26,23 @@ entry point with ``if __name__ == "__main__":`` (see :mod:`repro.lint`).
 from __future__ import annotations
 
 import os
-import time  # lint: disable=SIM002 - wall time of workers, not simulated time
-import traceback
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError, WorkerError
 from repro.runner.cache import ResultCache
-from repro.runner.evaluators import get_evaluator
-from repro.runner.workunit import WorkUnit
+from repro.runner.chaos import ChaosPolicy
+from repro.runner.evaluators import execute_payload
+from repro.runner.journal import SweepJournal
+from repro.runner.supervisor import RunReport, Supervisor, SupervisorPolicy
 
 #: Environment variable supplying the default worker count.
 JOBS_ENV = "REPRO_JOBS"
+
+#: Backward-compatible alias for the worker entry point, which moved to
+#: :mod:`repro.runner.evaluators` (where the registry it resolves against
+#: lives) when supervision landed.
+_execute_payload = execute_payload
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -61,36 +71,28 @@ class UnitOutcome:
 
     ``wall_time`` is the worker-side execution time in seconds (0.0 for a
     cache hit); ``error`` carries the marshalled worker traceback when the
-    evaluator raised.
+    unit failed even after supervision.  ``attempts`` counts executions
+    started (1 for a clean first try); ``degraded`` lists the degradation
+    ladder steps taken (``engine:batched->scalar``,
+    ``backend:sweep->dense``, ``pool->serial``); ``resumed`` marks a cache
+    hit that a ``--resume`` journal predicted; ``computed_digest`` is the
+    digest of what was *actually* computed — it differs from
+    ``unit.config_digest`` exactly when degradation changed the unit.
     """
 
-    unit: WorkUnit
+    unit: Any
     value: Any
     wall_time: float
     cached: bool = False
     error: Optional[str] = None
+    attempts: int = 1
+    degraded: Tuple[str, ...] = ()
+    resumed: bool = False
+    computed_digest: str = ""
 
     @property
     def ok(self) -> bool:
         return self.error is None
-
-
-def _execute_payload(
-        payload: Tuple[str, int, dict, str, str]
-) -> Tuple[str, Any, Optional[str], float]:
-    """Run one unit in a worker: ``(digest, value, error, wall_time)``.
-
-    Module-level on purpose (workers unpickle it by qualified name; SIM005).
-    All exceptions — including evaluator-lookup failures — are marshalled
-    as traceback text so one bad unit cannot poison the pool.
-    """
-    evaluator_id, seed, params, backend, digest = payload
-    start = time.perf_counter()
-    try:
-        value = get_evaluator(evaluator_id)(seed, params, backend)
-    except BaseException:
-        return digest, None, traceback.format_exc(), time.perf_counter() - start
-    return digest, value, None, time.perf_counter() - start
 
 
 class SweepRunner:
@@ -99,19 +101,32 @@ class SweepRunner:
     * ``jobs`` — worker count (``None`` defers to ``REPRO_JOBS``, then 1);
     * ``cache`` — a :class:`ResultCache`, a directory path for one, or
       ``None`` to disable caching;
-    * ``chunk_size`` — units per pool task (``None`` picks a chunking that
-      amortizes IPC over ~4 chunks per worker).
+    * ``chunk_size`` — legacy IPC-chunking knob; supervised dispatch
+      submits per unit (retry and timeout need per-unit futures), so this
+      is validated but no longer changes execution;
+    * ``supervisor`` — a :class:`SupervisorPolicy` (retry budget, unit
+      timeout, degradation ladder); ``None`` uses the defaults;
+    * ``chaos`` — an explicit :class:`ChaosPolicy` for fault injection
+      (``None`` defers to the ``REPRO_CHAOS`` environment variable);
+    * ``journal`` — a :class:`SweepJournal` appended per completed unit;
+    * ``resume`` — serve units the journal already records as completed
+      from the cache and mark them ``resumed`` (requires both).
 
     ``run`` returns outcomes in submission order regardless of completion
     order, so serial and parallel execution assemble identical series.  The
-    outcomes of the most recent ``run`` stay on :attr:`last_outcomes` for
-    callers that want per-point wall times after a higher-level API (for
-    example ``figure_series``) has reduced the values.
+    outcomes and fault-tolerance report of the most recent ``run`` stay on
+    :attr:`last_outcomes` / :attr:`last_report` for callers that want
+    provenance after a higher-level API (for example ``figure_series``)
+    has reduced the values.
     """
 
     def __init__(self, jobs: Optional[int] = None,
                  cache: Union[ResultCache, os.PathLike, str, None] = None,
-                 chunk_size: Optional[int] = None):
+                 chunk_size: Optional[int] = None,
+                 supervisor: Optional[SupervisorPolicy] = None,
+                 chaos: Optional[ChaosPolicy] = None,
+                 journal: Optional[SweepJournal] = None,
+                 resume: bool = False):
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError(
                 f"chunk_size must be >= 1, got {chunk_size}")
@@ -119,60 +134,85 @@ class SweepRunner:
         self.cache = (ResultCache(cache)
                       if isinstance(cache, (str, os.PathLike)) else cache)
         self.chunk_size = chunk_size
+        self.supervisor = supervisor if supervisor is not None \
+            else SupervisorPolicy()
+        self.chaos = chaos
+        if chaos is not None and self.cache is not None \
+                and self.cache.chaos is None:
+            # An explicit chaos policy covers the whole execution layer,
+            # including this runner's cache writes.
+            self.cache.chaos = chaos
+        self.journal = journal
+        self.resume = resume
         self.last_outcomes: List[UnitOutcome] = []
+        self.last_report: RunReport = RunReport()
 
     @property
     def effective_jobs(self) -> int:
         """The worker count a ``run`` call would use right now."""
         return resolve_jobs(self.jobs)
 
-    def run(self, units: Sequence[WorkUnit],
+    def run(self, units: Sequence[Any],
             raise_on_error: bool = True) -> List[UnitOutcome]:
         """Execute ``units``; outcomes come back in submission order."""
         jobs = resolve_jobs(self.jobs)
+        journal = self.journal
+        resume_set = (journal.completed_digests()
+                      if journal is not None and self.resume else set())
+        report = RunReport(total=len(units))
         outcomes: List[Optional[UnitOutcome]] = [None] * len(units)
 
-        pending: List[Tuple[int, WorkUnit]] = []
+        pending: List[Tuple[int, Any]] = []
         for index, unit in enumerate(units):
             if self.cache is not None:
                 hit, value = self.cache.get(unit.config_digest)
                 if hit:
-                    outcomes[index] = UnitOutcome(unit=unit, value=value,
-                                                  wall_time=0.0, cached=True)
+                    resumed = unit.config_digest in resume_set
+                    outcomes[index] = UnitOutcome(
+                        unit=unit, value=value, wall_time=0.0, cached=True,
+                        resumed=resumed,
+                        computed_digest=unit.config_digest)
+                    report.cache_hits += 1
+                    if resumed:
+                        report.resumed += 1
+                    if journal is not None:
+                        journal.record(unit.config_digest, "ok", cached=True,
+                                       resumed=resumed)
                     continue
             pending.append((index, unit))
 
         if pending:
-            payloads = [unit.payload() for _index, unit in pending]
-            if jobs == 1 or len(pending) == 1:
-                raw = map(_execute_payload, payloads)
-            else:
-                raw = self._run_pool(payloads, jobs)
-            for (index, unit), (digest, value, error, wall) in zip(pending, raw):
-                outcome = UnitOutcome(unit=unit, value=value, wall_time=wall,
-                                      error=error)
+            def on_complete(index: int, outcome: UnitOutcome) -> None:
                 outcomes[index] = outcome
-                if error is None and self.cache is not None:
-                    self.cache.put(digest, value)
+                if outcome.ok:
+                    report.computed += 1
+                    if self.cache is not None:
+                        self.cache.put(outcome.computed_digest
+                                       or outcome.unit.config_digest,
+                                       outcome.value)
+                if journal is not None:
+                    journal.record(
+                        outcome.unit.config_digest,
+                        "ok" if outcome.ok else "failed",
+                        attempts=outcome.attempts,
+                        degraded=outcome.degraded,
+                        wall_time=outcome.wall_time,
+                        final_digest=outcome.computed_digest or None,
+                        error=outcome.error)
+
+            Supervisor(self.supervisor, chaos=self.chaos).execute(
+                pending, jobs, report, on_complete)
 
         final = [outcome for outcome in outcomes if outcome is not None]
         self.last_outcomes = final
+        self.last_report = report
         if raise_on_error:
             for outcome in final:
                 if outcome.error is not None:
-                    raise WorkerError(outcome.unit.config_digest, outcome.error)
+                    raise WorkerError(outcome.unit.config_digest,
+                                      outcome.error)
         return final
 
-    def run_values(self, units: Sequence[WorkUnit]) -> List[Any]:
+    def run_values(self, units: Sequence[Any]) -> List[Any]:
         """Execute ``units`` and return just the values, in order."""
         return [outcome.value for outcome in self.run(units)]
-
-    def _run_pool(self, payloads: List[tuple], jobs: int):
-        """Chunked executor.map over the payloads (order-preserving)."""
-        workers = min(jobs, len(payloads))
-        chunk = self.chunk_size
-        if chunk is None:
-            chunk = max(1, len(payloads) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            yield from executor.map(_execute_payload, payloads,
-                                    chunksize=chunk)

@@ -29,7 +29,9 @@ from repro.errors import ConfigurationError
 #: 3: the simulation engine (scalar event loop vs. batched lockstep
 #:    replications) entered sweep-point params — engine choice is digest
 #:    material, so scalar and batched results never serve for each other.
-CACHE_SCHEMA_VERSION = 3
+#: 4: on-disk cache entries became checksummed envelopes (digest + payload
+#:    sha256); pre-envelope pickles are unverifiable, so they must miss.
+CACHE_SCHEMA_VERSION = 4
 
 #: The reference solver backend: per-point dense solves with no cross-point
 #: state, the backend whose results every other backend must reproduce.

@@ -391,3 +391,110 @@ class TestJobsEnvIntegration:
         assert runner.effective_jobs == 2
         values = runner.run_values(_square_units(4))
         assert values == [0, 1, 4, 9]
+
+
+class TestCacheIntegrity:
+    """The checksummed-envelope contract: damage is detected, never served."""
+
+    def _digest(self, index=0):
+        return f"{index:02x}" + "e" * 62
+
+    def test_envelope_round_trip_and_statuses(self):
+        from repro.runner import decode_entry, encode_entry
+
+        digest = self._digest()
+        blob = encode_entry(digest, {"answer": 42})
+        assert decode_entry(digest, blob) == ("ok", {"answer": 42})
+        # Stored under the wrong digest: corrupt, not a value.
+        assert decode_entry(self._digest(1), blob)[0] == "corrupt"
+        # A flipped byte anywhere in the payload: corrupt.
+        damaged = blob[:-10] + bytes([blob[-10] ^ 0xFF]) + blob[-9:]
+        assert decode_entry(digest, damaged)[0] in ("corrupt", "legacy")
+        # Truncation: corrupt.
+        assert decode_entry(digest, blob[: len(blob) // 2])[0] == "corrupt"
+        # A pre-envelope plain pickle: legacy (a miss, not quarantine bait).
+        assert decode_entry(digest, pickle.dumps(42))[0] == "legacy"
+
+    def test_corrupt_get_quarantines_the_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = self._digest(2)
+        cache.put(digest, [1.0, 2.0])
+        path = tmp_path / digest[:2] / f"{digest}.pkl"
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-4] + bytes([blob[-4] ^ 0xFF]) + blob[-3:])
+        hit, value = cache.get(digest)
+        assert not hit and value is None
+        assert not path.exists()
+        quarantined = list(cache.quarantine_root.iterdir())
+        assert [p.name for p in quarantined] == [f"{digest}.pkl.quar"]
+        stats = cache.stats()
+        assert stats.entries == 0
+        assert stats.quarantined == 1 and stats.session_corrupt == 1
+        # Quarantine never blocks a fresh write of the same digest.
+        cache.put(digest, [3.0])
+        assert cache.get(digest) == (True, [3.0])
+
+    def test_legacy_entry_is_a_miss_and_overwritten_in_place(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = self._digest(3)
+        path = tmp_path / digest[:2] / f"{digest}.pkl"
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"pre-envelope": True}))
+        assert cache.get(digest) == (False, None)
+        assert path.exists()          # a miss, not quarantine bait
+        cache.put(digest, "fresh")
+        assert cache.get(digest) == (True, "fresh")
+
+    def test_verify_reports_and_repairs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        good = self._digest(4)
+        bad = self._digest(5)
+        legacy = self._digest(6)
+        cache.put(good, 1)
+        cache.put(bad, 2)
+        bad_path = tmp_path / bad[:2] / f"{bad}.pkl"
+        bad_path.write_bytes(b"\x00garbage")
+        legacy_path = tmp_path / legacy[:2] / f"{legacy}.pkl"
+        legacy_path.parent.mkdir(parents=True, exist_ok=True)
+        legacy_path.write_bytes(pickle.dumps(3))
+
+        report = cache.verify()
+        assert (report.checked, report.ok) == (3, 1)
+        assert report.corrupt == (bad,)
+        assert report.legacy == (legacy,)
+        assert not report.clean
+        assert bad in report.format()
+
+        repaired = cache.verify(repair=True)
+        assert repaired.quarantined == 2
+        assert not bad_path.exists() and not legacy_path.exists()
+        assert cache.verify().clean
+        assert cache.get(good) == (True, 1)
+
+    def test_scans_tolerate_entries_vanishing_mid_walk(self, tmp_path):
+        # A dangling symlink is a faithful stand-in for the race: the scan
+        # lists the entry, but stat/read raise when another runner has
+        # already pruned it.
+        cache = ResultCache(tmp_path)
+        cache.put(self._digest(7), "survivor")
+        ghost = tmp_path / "aa" / (self._digest(8)[2:] + ".pkl")
+        ghost.parent.mkdir(parents=True, exist_ok=True)
+        ghost.symlink_to(tmp_path / "never-existed.pkl")
+
+        stats = cache.stats()
+        assert stats.entries == 1
+        report = cache.verify()
+        assert report.checked == 1 and report.clean
+        removed, remaining = cache.prune(0)
+        assert removed == 1 and remaining == 0
+
+    def test_clear_sweeps_quarantine_too(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = self._digest(9)
+        cache.put(digest, 1)
+        path = tmp_path / digest[:2] / f"{digest}.pkl"
+        path.write_bytes(b"torn")
+        cache.get(digest)
+        assert list(cache.quarantine_root.iterdir())
+        assert cache.clear() == 0     # the only entry was quarantined
+        assert not cache.quarantine_root.exists()
