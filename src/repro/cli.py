@@ -16,8 +16,10 @@ Commands:
 * ``blocking``   — the Section V blocking comparison;
 * ``faults``     — fault-injected run with availability report and the
   degraded-capacity prediction;
-* ``lint``       — the determinism lint (SIM001-SIM005) over the source
-  tree, with ``--format json`` for CI.
+* ``lint``       — the two-pass determinism lint (per-file SIM001-SIM005
+  plus whole-program SIM006-SIM010) with incremental caching, ``--jobs``
+  parallel analysis, a ``--baseline`` ratchet, and ``--format json|sarif``
+  for CI.
 """
 
 from __future__ import annotations
@@ -159,14 +161,36 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--seed", type=int, default=1)
 
     lint = commands.add_parser(
-        "lint", help="determinism lint (SIM001-SIM005) over the source tree")
+        "lint", help="two-pass determinism lint (SIM001-SIM010) over the "
+                     "source tree")
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
     lint.add_argument("--format", dest="lint_format", default="text",
-                      choices=["text", "json"],
-                      help="report format (json is stable for CI)")
+                      choices=["text", "json", "sarif"],
+                      help="report format (json is stable for CI; sarif "
+                           "annotates PRs inline)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
+    lint.add_argument("--jobs", type=int, default=None,
+                      help="worker processes for file analysis "
+                           "(default: REPRO_JOBS or 1; output is "
+                           "byte-identical to serial)")
+    lint.add_argument("--baseline", choices=["write", "check"], default=None,
+                      help="ratchet mode: 'write' snapshots current "
+                           "findings, 'check' fails only on findings not "
+                           "in the snapshot")
+    lint.add_argument("--baseline-file", default=None, metavar="PATH",
+                      help="baseline location "
+                           "(default: .lint-baseline.json)")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="disable the incremental finding cache")
+    lint.add_argument("--cache-dir", default=None,
+                      help="directory for the incremental finding cache "
+                           "(default: <REPRO_CACHE_DIR or "
+                           "~/.cache/repro>/_lint)")
+    lint.add_argument("--stats", action="store_true",
+                      help="print cache effectiveness and phase timings "
+                           "to stderr")
     return parser
 
 
@@ -379,17 +403,66 @@ def _command_faults(args) -> int:
 
 
 def _command_lint(args) -> int:
-    from repro.lint import DEFAULT_RULES, format_json, format_text, lint_paths
+    from pathlib import Path
+
+    from repro.lint import (
+        ALL_RULES,
+        LintSession,
+        check_baseline,
+        format_json,
+        format_sarif,
+        format_text,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.lint.baseline import DEFAULT_BASELINE_FILE
+
     if args.list_rules:
-        for rule in DEFAULT_RULES:
+        for rule in ALL_RULES:
             print(f"{rule.code}  {rule.summary}")
         return 0
+    cache_path = (Path(args.cache_dir) / "findings.json"
+                  if args.cache_dir else None)
+    session = LintSession(jobs=args.jobs, cache_path=cache_path,
+                          use_cache=not args.no_cache)
     try:
-        findings = lint_paths(args.paths)
+        result = session.run(args.paths)
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    if args.lint_format == "json":
+    if args.stats:
+        print(result.stats.format(), file=sys.stderr)
+    findings = result.findings
+    baseline_path = args.baseline_file or DEFAULT_BASELINE_FILE
+
+    if args.baseline == "write":
+        recorded = write_baseline(baseline_path, findings)
+        print(f"baseline written to {baseline_path}: {recorded} "
+              f"fingerprint(s) over {len(findings)} finding(s)")
+        return 0
+
+    if args.baseline == "check":
+        try:
+            baseline = load_baseline(baseline_path)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        check = check_baseline(findings, baseline)
+        if args.lint_format == "sarif":
+            # SARIF under baseline check reports only the *new* debt, so
+            # CI annotations match what actually fails the build.
+            print(format_sarif(check.new_findings, rules=ALL_RULES))
+            print(check.format(), file=sys.stderr)
+        elif args.lint_format == "json":
+            print(format_json(check.new_findings))
+            print(check.format(), file=sys.stderr)
+        else:
+            print(check.format())
+        return 0 if check.clean else 1
+
+    if args.lint_format == "sarif":
+        print(format_sarif(findings, rules=ALL_RULES))
+    elif args.lint_format == "json":
         print(format_json(findings))
     else:
         print(format_text(findings))

@@ -1,0 +1,144 @@
+"""The baseline ratchet: land strict rules before the tree is clean.
+
+A new rule that fires on existing code would either block CI (so the rule
+never lands) or get watered down (so it catches nothing).  The baseline
+breaks the deadlock: ``repro lint --baseline write`` snapshots today's
+findings into a committed JSON file, and ``--baseline check`` fails only
+on findings *not* in the snapshot — new debt is rejected, existing debt is
+tolerated, and every fix shrinks the file (the check reports resolved
+entries so the ratchet can be tightened with a fresh ``write``).
+
+Findings are matched by **fingerprint** — ``path``, ``code``, and a hash
+of the message — *not* by line number: editing line 10 must not turn the
+pre-existing finding on line 400 into "new" debt.  Identical fingerprints
+are counted, so adding a second instance of an already-baselined problem
+in the same file is still caught.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.engine import Finding
+
+#: Default baseline location, resolved against the working directory
+#: (committed at the repository root alongside the code it describes).
+DEFAULT_BASELINE_FILE = ".lint-baseline.json"
+
+#: Bumped on incompatible baseline format changes.
+BASELINE_SCHEMA = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Line-independent identity of a finding: ``path::code::msghash``."""
+    digest = hashlib.sha256(finding.message.encode("utf-8")).hexdigest()[:16]
+    return f"{finding.path}::{finding.code}::{digest}"
+
+
+@dataclass(frozen=True)
+class BaselineCheck:
+    """The outcome of matching a run's findings against a baseline."""
+
+    new_findings: Tuple[Finding, ...]
+    matched: int
+    resolved: Tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.new_findings
+
+    def format(self) -> str:
+        lines: List[str] = []
+        for finding in self.new_findings:
+            lines.append(finding.format())
+        if self.new_findings:
+            lines.append(f"repro lint: {len(self.new_findings)} new "
+                         f"finding(s) not in the baseline "
+                         f"({self.matched} baselined)")
+        else:
+            lines.append("repro lint: baseline-clean "
+                         f"({self.matched} baselined finding(s) tolerated)")
+        if self.resolved:
+            lines.append(
+                f"note: {len(self.resolved)} baseline entr(ies) no longer "
+                "fire — ratchet down with `repro lint --baseline write`")
+        return "\n".join(lines)
+
+
+def _counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        key = fingerprint(finding)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def load_baseline(path: os.PathLike) -> Dict[str, int]:
+    """The fingerprint→count table of a baseline file ({} if absent)."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError:
+        return {}
+    except ValueError as error:
+        raise ValueError(f"baseline file {path} is not valid JSON: {error}")
+    if not isinstance(payload, dict) \
+            or payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline file {path} has an unsupported schema "
+            f"(expected {BASELINE_SCHEMA}); regenerate it with "
+            "`repro lint --baseline write`")
+    entries = payload.get("entries", {})
+    return {str(key): int(value) for key, value in entries.items()}
+
+
+def write_baseline(path: os.PathLike,
+                   findings: Sequence[Finding]) -> int:
+    """Snapshot ``findings`` as the new baseline (atomic write).
+
+    Returns the number of distinct fingerprints recorded.  The file is
+    sorted and indented so diffs of the committed baseline read as "debt
+    added/removed" in review.
+    """
+    target = Path(path)
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "tool": "repro-lint",
+        "entries": _counts(findings),
+    }
+    target.parent.mkdir(parents=True, exist_ok=True)
+    temporary = target.with_name(f"{target.name}.tmp{os.getpid()}")
+    temporary.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    os.replace(temporary, target)
+    return len(payload["entries"])
+
+
+def check_baseline(findings: Sequence[Finding],
+                   baseline: Dict[str, int]) -> BaselineCheck:
+    """Partition ``findings`` into baselined and new, counting fingerprints.
+
+    The first ``baseline[fp]`` findings of each fingerprint are tolerated
+    (in position order — stable because the engine sorts findings);
+    occurrences beyond the baselined count are new.  Baseline entries no
+    longer matched by any finding come back as ``resolved``.
+    """
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    matched = 0
+    for finding in findings:
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            new.append(finding)
+    resolved = tuple(sorted(key for key, count in remaining.items()
+                            if count > 0))
+    return BaselineCheck(new_findings=tuple(new), matched=matched,
+                         resolved=resolved)

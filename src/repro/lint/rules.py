@@ -1,11 +1,12 @@
-"""The project's determinism lint rules (SIM001-SIM005).
+"""The per-file determinism lint rules (SIM001-SIM005).
 
 Each rule encodes one invariant the fault-injection replay guarantee
 (PR 1) leans on: zero-rate fault configurations must reproduce healthy
 runs bit for bit, which is only auditable when every source of
 nondeterminism is confined to seeded, injected streams and the simulated
-clock.  See :mod:`repro.lint` for the rule catalogue and suppression
-syntax.
+clock.  The cross-module rules (SIM006-SIM010) live in
+:mod:`repro.lint.project`; see :mod:`repro.lint` for the full rule
+catalogue and suppression syntax.
 """
 
 from __future__ import annotations
@@ -110,14 +111,30 @@ class NoWallClock(LintRule):
     def applies_to(self, path: str) -> bool:
         return any(part in self._SCOPED_DIRS for part in path_parts(path))
 
+    @staticmethod
+    def _base_tail(node: ast.AST) -> str:
+        """The final component of the attribute base, however deep.
+
+        ``time.time()`` has a ``Name`` base, but ``datetime.datetime.now()``
+        (and any longer ``a.b.attr`` chain) has an ``Attribute`` base whose
+        own ``attr`` is the component that matters — matching only
+        ``ast.Name`` bases let dotted wall-clock reads escape.
+        """
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return ""
+
     def check(self, tree: ast.Module, path: str) -> Iterator[Tuple[ast.AST, str]]:
         for node in ast.walk(tree):
             if (isinstance(node, ast.Attribute)
-                    and isinstance(node.value, ast.Name)
-                    and (node.value.id, node.attr) in _WALL_CLOCK_ATTRIBUTES):
+                    and (self._base_tail(node.value), node.attr)
+                    in _WALL_CLOCK_ATTRIBUTES):
                 yield node, (
-                    f"wall-clock read {node.value.id}.{node.attr}: use the "
-                    "environment clock (env.now) so runs replay exactly")
+                    f"wall-clock read {self._base_tail(node.value)}."
+                    f"{node.attr}: use the environment clock (env.now) so "
+                    "runs replay exactly")
             elif isinstance(node, ast.ImportFrom) and node.level == 0:
                 if node.module == "time":
                     for alias in node.names:

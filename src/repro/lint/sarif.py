@@ -1,0 +1,74 @@
+"""SARIF 2.1.0 emitter: lint findings as CI-native code annotations.
+
+SARIF (Static Analysis Results Interchange Format) is what code hosts
+ingest to annotate pull requests inline: upload the output of
+``repro lint --format sarif`` and SIM findings appear on the offending
+lines of the diff instead of in a buried job log.  The emitter produces
+the minimal valid subset — one run, one driver, the rule catalogue as
+``reportingDescriptor`` entries, one ``result`` per finding with a
+physical location — with sorted keys so output is byte-stable for caching
+and artifact diffing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.engine import Finding
+
+#: The schema SARIF consumers validate uploads against.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _rule_descriptors(rules: Sequence[object]) -> List[dict]:
+    descriptors = []
+    for rule in sorted(rules, key=lambda rule: rule.code):
+        descriptors.append({
+            "id": rule.code,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": "error"},
+        })
+    return descriptors
+
+
+def format_sarif(findings: Sequence[Finding],
+                 rules: Sequence[object] = ()) -> str:
+    """Render ``findings`` as a SARIF 2.1.0 log (stable, sorted output)."""
+    rule_ids = [descriptor["id"] for descriptor in _rule_descriptors(rules)]
+    rule_index: Dict[str, int] = {code: i for i, code in enumerate(rule_ids)}
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.code,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column,
+                    },
+                },
+            }],
+        }
+        if finding.code in rule_index:
+            result["ruleIndex"] = rule_index[finding.code]
+        results.append(result)
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "rules": _rule_descriptors(rules),
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

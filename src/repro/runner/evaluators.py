@@ -31,15 +31,32 @@ Evaluator = Callable[..., Any]
 #: Evaluator functions by id; workers resolve work units against this table.
 EVALUATORS: Dict[str, Evaluator] = {}
 
+#: Declared digest-material reads per evaluator id: exactly the ``params``
+#: keys the evaluator consumes (``None`` when a registration declares
+#: nothing).  Every key here is covered by the work-unit digest via
+#: :data:`repro.runner.workunit.DIGEST_MATERIAL`; the static analyzer's
+#: SIM007 rule cross-checks each evaluator body against its declaration,
+#: so a new ``params[...]`` read that someone forgets to declare — digest
+#: drift — fails lint instead of silently serving stale cache entries.
+EVALUATOR_READS: Dict[str, Optional[Tuple[str, ...]]] = {}
 
-def evaluator(evaluator_id: str) -> Callable[[Evaluator], Evaluator]:
-    """Register a module-level function as the evaluator ``evaluator_id``."""
+
+def evaluator(evaluator_id: str,
+              reads: Optional[Tuple[str, ...]] = None
+              ) -> Callable[[Evaluator], Evaluator]:
+    """Register a module-level function as the evaluator ``evaluator_id``.
+
+    ``reads`` declares the ``params`` keys the evaluator consumes (its
+    digest-material surface); the declaration is enforced statically by
+    lint rule SIM007 and exposed at runtime via :data:`EVALUATOR_READS`.
+    """
 
     def register(function: Evaluator) -> Evaluator:
         if evaluator_id in EVALUATORS:
             raise ConfigurationError(
                 f"evaluator {evaluator_id!r} registered twice")
         EVALUATORS[evaluator_id] = function
+        EVALUATOR_READS[evaluator_id] = reads
         return function
 
     return register
@@ -96,11 +113,17 @@ def _worker_context():
     if _WORKER_CONTEXT is None:
         from repro.markov.assembly import SolverContext
 
-        _WORKER_CONTEXT = SolverContext()
+        # Deliberate per-process memo: the context caches chain *structure*
+        # keyed by configuration, never results, so reuse cannot change any
+        # evaluator's output.
+        _WORKER_CONTEXT = SolverContext()  # lint: disable=SIM008
     return _WORKER_CONTEXT
 
 
-@evaluator("sweep-point")
+@evaluator("sweep-point", reads=("config", "mu_ratio", "intensity",
+                                 "horizon", "warmup_fraction",
+                                 "arbitration", "saturation_guard",
+                                 "engine"))
 def sweep_point(seed: int, params: Mapping[str, Any],
                 backend: str = DEFAULT_BACKEND):
     """One simulated delay point; params mirror ``simulated_point``."""
@@ -116,7 +139,7 @@ def sweep_point(seed: int, params: Mapping[str, Any],
         engine=params.get("engine", "scalar"))
 
 
-@evaluator("analytic-point")
+@evaluator("analytic-point", reads=("config", "mu_ratio", "intensity"))
 def analytic_point(seed: int, params: Mapping[str, Any],
                    backend: str = DEFAULT_BACKEND):
     """One exact SBUS delay point (the seed is irrelevant and ignored).
@@ -135,7 +158,10 @@ def analytic_point(seed: int, params: Mapping[str, Any],
                        params["intensity"], context=context)
 
 
-@evaluator("replication-delay")
+@evaluator("replication-delay", reads=("config", "arrival_rate",
+                                       "transmission_rate",
+                                       "service_rate", "horizon",
+                                       "warmup", "arbitration"))
 def replication_delay(seed: int, params: Mapping[str, Any],
                       backend: str = DEFAULT_BACKEND) -> float:
     """Mean queueing delay of one independent replication."""
@@ -151,7 +177,10 @@ def replication_delay(seed: int, params: Mapping[str, Any],
     return result.mean_queueing_delay
 
 
-@evaluator("replication-delay-batched")
+@evaluator("replication-delay-batched",
+           reads=("config", "arrival_rate", "transmission_rate",
+                  "service_rate", "replications", "horizon", "warmup",
+                  "arbitration"))
 def replication_delay_batched(seed: int, params: Mapping[str, Any],
                               backend: str = DEFAULT_BACKEND) -> list:
     """Mean delays of ``params["replications"]`` lockstep replications.

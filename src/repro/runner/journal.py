@@ -112,7 +112,10 @@ class SweepJournal:
                 torn_tail = handle.read(1) != b"\n"
         except OSError:
             pass
-        with self.path.open("a", encoding="utf-8") as handle:
+        # Append-only JSONL by design: atomicity is per *record* (one write
+        # + flush per line), and the torn-tail repair above handles the only
+        # partial-write failure mode.
+        with self.path.open("a", encoding="utf-8") as handle:  # lint: disable=SIM010
             if torn_tail:
                 handle.write("\n")
             handle.write(json.dumps(entry, sort_keys=True) + "\n")

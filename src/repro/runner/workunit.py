@@ -37,6 +37,16 @@ CACHE_SCHEMA_VERSION = 4
 #: state, the backend whose results every other backend must reproduce.
 DEFAULT_BACKEND = "dense"
 
+#: Everything the work-unit digest covers, in hash order — the *complete*
+#: list of inputs an evaluator's result may depend on.  The whole-program
+#: lint's SIM007 rule enforces the contrapositive: an evaluator that reads
+#: anything outside this material (an undeclared ``params`` key relative
+#: to its ``reads=(...)`` registration, ``os.environ``, mutable module
+#: state) can change behavior without changing the digest, and the cache
+#: would serve stale results for it.
+DIGEST_MATERIAL = ("code_version", "evaluator_id", "seed", "backend",
+                   "params")
+
 
 def code_version() -> str:
     """The code-version component of every work-unit digest."""

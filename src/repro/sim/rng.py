@@ -37,6 +37,15 @@ import numpy.random as np_random  # lint: disable=SIM001 - sanctioned site
 from numpy.typing import NDArray
 
 
+#: The call names that derive a new stream from a parent seed path:
+#: ``RandomStreams.stream`` / ``.spawn`` and :func:`spawn_seed`.  The
+#: whole-program lint (:mod:`repro.lint.project`) indexes string literals
+#: at exactly these call sites for its SIM006 stream-collision rule; a
+#: regression test pins the two vocabularies together so the analyzer can
+#: never silently drift from the runtime's derivation surface.
+DERIVATION_CALLS = frozenset({"stream", "spawn", "spawn_seed"})
+
+
 def spawn_seed(master_seed: int, *keys: object) -> int:
     """Derive an independent 64-bit child seed from a master seed and keys.
 
@@ -107,6 +116,15 @@ class RandomStreams:
         """Derive a child family, for replicas of a subsystem."""
         digest = hashlib.sha256(f"{self.seed}/spawn/{name}".encode()).digest()
         return RandomStreams(int.from_bytes(digest[:8], "big"))
+
+    def names(self) -> Tuple[str, ...]:
+        """The stream names derived so far, sorted (introspection hook).
+
+        Lets audits — the race sanitizer's reports, tests asserting two
+        components do *not* share a stream, the static analyzer's fixtures
+        — enumerate exactly which streams a family has handed out.
+        """
+        return tuple(sorted(self._streams))
 
     # -- distributions ----------------------------------------------------
     def exponential(self, name: str, rate: float) -> float:
@@ -261,3 +279,7 @@ class BatchedStreams:
                                        block=self._block)
             self._streams[name] = stream
         return stream
+
+    def names(self) -> Tuple[str, ...]:
+        """The stream names derived so far, sorted (introspection hook)."""
+        return tuple(sorted(self._streams))
