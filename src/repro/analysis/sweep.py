@@ -27,8 +27,10 @@ REFERENCE_RESOURCES = 32
 #: Lockstep replications one batched sweep point splits its horizon over.
 BATCHED_POINT_REPLICATIONS = 16
 
-#: The simulation engines a sweep point can run on.
-ENGINES = ("scalar", "batched")
+#: The simulation engines a sweep point can run on.  ``megabatch`` is the
+#: 2-D generalization of ``batched``: a whole curve's (point, replication)
+#: grid advances as one lockstep batch, with identical per-point results.
+ENGINES = ("scalar", "batched", "megabatch")
 
 
 @dataclass(frozen=True)
@@ -138,6 +140,16 @@ def simulated_series(config: Union[SystemConfig, str], mu_ratio: float,
     """
     if isinstance(config, str):
         config = SystemConfig.parse(config)
+    if engine == "megabatch":
+        grid = list(intensities)
+        mega = megabatch_sweep_points(
+            config, mu_ratio, grid, horizon=horizon,
+            warmup_fraction=warmup_fraction, point_seeds=[seed] * len(grid),
+            arbitration=arbitration, saturation_guard=saturation_guard)
+        if mega is not None:
+            return Series(label=label or str(config), config=config,
+                          mu_ratio=mu_ratio, points=tuple(mega),
+                          method="event-simulation")
     points = [simulated_point(config, mu_ratio, intensity, horizon=horizon,
                               warmup_fraction=warmup_fraction, seed=seed,
                               arbitration=arbitration,
@@ -182,6 +194,100 @@ def _batched_point(config: SystemConfig, workload: Workload, intensity: float,
         ci_halfwidth=halfwidth * workload.service_rate)
 
 
+def megabatch_curve_reason(config: Union[SystemConfig, str], mu_ratio: float,
+                           arbitration: str = "priority") -> Optional[str]:
+    """Why a figure curve cannot run as one mega-batch unit, or None.
+
+    Figure workloads come from :func:`workload_at`, whose holding-time
+    distributions are fixed (only the rates vary along the curve), so the
+    batchability gate is constant across a curve's points — probing one
+    representative workload decides the whole curve.
+    """
+    from repro.sim.batched import batched_unsupported_reason
+
+    if isinstance(config, str):
+        config = SystemConfig.parse(config)
+    probe = workload_at(0.5, mu_ratio, processors=config.processors)
+    return batched_unsupported_reason(config, probe, arbitration)
+
+
+def megabatch_sweep_points(config: Union[SystemConfig, str], mu_ratio: float,
+                           intensities: Sequence[float], horizon: float,
+                           warmup_fraction: float,
+                           point_seeds: Sequence[int],
+                           arbitration: str = "priority",
+                           saturation_guard: float = 0.98
+                           ) -> Optional[List[SweepPoint]]:
+    """A whole curve of sweep points as one 2-D mega-batch, or None.
+
+    Saturated points short-circuit exactly as :func:`simulated_point`
+    does; every *live* point must pass the batchability gate, and the
+    remaining ``points x BATCHED_POINT_REPLICATIONS`` grid advances in
+    one :func:`~repro.sim.batched.megabatch_figure_delays` call.  Each
+    point derives the same ``spawn_seed`` replication streams from its
+    entry in ``point_seeds`` that :func:`_batched_point` would, so the
+    returned points equal the per-point batched path (and the scalar
+    loop's per-replication runs) bit for bit.
+
+    Returns None when any live point falls outside the batched gate —
+    the caller runs the per-point loop (with its per-point scalar
+    fallback) instead.
+    """
+    from repro.sim.batched import (batched_unsupported_reason,
+                                   megabatch_figure_delays)
+    from repro.sim.rng import spawn_seed
+    from repro.sim.stats import confidence_interval
+
+    if isinstance(config, str):
+        config = SystemConfig.parse(config)
+    grid = list(intensities)
+    if len(point_seeds) != len(grid):
+        raise ConfigurationError(
+            f"need one seed per point: {len(grid)} intensities, "
+            f"{len(point_seeds)} seeds")
+    limit = saturation_guard * saturation_intensity(config, mu_ratio)
+    points: List[Optional[SweepPoint]] = []
+    live_indices: List[int] = []
+    live_workloads: List[Workload] = []
+    live_groups: List[List[int]] = []
+    for intensity, seed in zip(grid, point_seeds):
+        if intensity >= limit:
+            points.append(SweepPoint(intensity=intensity,
+                                     normalized_delay=None))
+            continue
+        workload = workload_at(intensity, mu_ratio,
+                               processors=config.processors)
+        if batched_unsupported_reason(config, workload,
+                                      arbitration) is not None:
+            return None
+        points.append(None)
+        live_indices.append(len(points) - 1)
+        live_workloads.append(workload)
+        live_groups.append(
+            [spawn_seed(seed, "batched-replication", index)
+             for index in range(BATCHED_POINT_REPLICATIONS)])
+    if live_indices:
+        per_replication = horizon / BATCHED_POINT_REPLICATIONS
+        delay_groups = megabatch_figure_delays(
+            config, live_workloads, horizon=per_replication,
+            warmup=per_replication * warmup_fraction,
+            seed_groups=live_groups, arbitration=arbitration)
+        for index, workload, delays in zip(live_indices, live_workloads,
+                                           delay_groups):
+            intensity = grid[index]
+            finite = [delay for delay in delays if not math.isnan(delay)]
+            if not finite:
+                points[index] = SweepPoint(intensity=intensity,
+                                           normalized_delay=None)
+                continue
+            mean, halfwidth = confidence_interval(finite)
+            points[index] = SweepPoint(
+                intensity=intensity,
+                normalized_delay=mean * workload.service_rate,
+                ci_halfwidth=halfwidth * workload.service_rate)
+    return [point for point in points if point is not None]
+
+
 def simulated_point(config: Union[SystemConfig, str], mu_ratio: float,
                     intensity: float, horizon: float = 30_000.0,
                     warmup_fraction: float = 0.1, seed: int = 1,
@@ -212,7 +318,8 @@ def simulated_point(config: Union[SystemConfig, str], mu_ratio: float,
     if intensity >= limit:
         return SweepPoint(intensity=intensity, normalized_delay=None)
     workload = workload_at(intensity, mu_ratio, processors=config.processors)
-    if engine == "batched":
+    if engine in ("batched", "megabatch"):
+        # A single point's mega-batch IS the batched path: one seed group.
         from repro.sim.batched import supports_batched
 
         if supports_batched(config, workload, arbitration):

@@ -62,10 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=1,
                      help="master seed for per-point replications")
     run.add_argument("--engine", default="scalar",
-                     choices=["scalar", "batched"],
+                     choices=["scalar", "batched", "megabatch"],
                      help="simulation engine for simulated points: the "
-                          "scalar event loop, or lockstep batched "
-                          "replications where supported (engine choice is "
+                          "scalar event loop, lockstep batched "
+                          "replications, or whole curves as one 2-D "
+                          "mega-batch where supported (engine choice is "
                           "cache-digest material)")
     run.add_argument("--cache-dir", default=None,
                      help="result cache directory "
@@ -235,6 +236,23 @@ def _command_run(args) -> int:
         print("error: --resume needs the cache; it cannot be combined "
               "with --no-cache", file=sys.stderr)
         return 2
+    if args.engine in ("batched", "megabatch"):
+        # One line per curve that will fall back to the scalar engine,
+        # naming the gate property that blocks it.
+        from repro.analysis.sweep import megabatch_curve_reason
+        from repro.config import SystemConfig
+
+        spec = FIGURE_SPECS[args.exp_id]
+        for label, triplet in spec.curves:
+            config = SystemConfig.parse(triplet)
+            if config.network_type == "SBUS":
+                continue  # exact chain, no simulation engine involved
+            reason = megabatch_curve_reason(config, spec.mu_ratio)
+            if reason is not None:
+                print(f"note: {triplet} ({label}) falls back to the "
+                      f"scalar engine: the batched engine does not "
+                      f"support {reason}", file=sys.stderr)
+
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     policy = SupervisorPolicy(max_attempts=args.max_attempts,
                               unit_timeout=args.unit_timeout,

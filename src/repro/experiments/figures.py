@@ -121,11 +121,20 @@ def figure_work_units(exp_id: str, quality: str = "fast",
     reference solves — the default, independent of execution order — or
     "sweep" for the parametric fast path).  The tag is digest material, so
     the result cache never serves one backend's points for the other.
-    Likewise ``engine`` ("scalar" or "batched") selects the simulation
-    engine of every simulated point and rides in the unit params, so
-    scalar and batched results are digest-separated too.
+    Likewise ``engine`` ("scalar", "batched", or "megabatch") selects the
+    simulation engine of every simulated point and rides in the unit
+    params, so scalar and batched results are digest-separated too.
+
+    ``engine="megabatch"`` collapses each simulated curve that passes the
+    batchability gate into ONE ``megabatch-figure`` unit carrying the
+    whole intensity grid — the 2-D engine advances every (point,
+    replication) of the curve in lockstep, and the unit's value is the
+    full list of :class:`~repro.analysis.sweep.SweepPoint`\\ s, identical
+    to what per-point ``engine="batched"`` units produce.  Gate-failing
+    curves fall back to per-point units with ``engine="batched"`` (whose
+    digests are shared with a plain ``--engine batched`` run).
     """
-    from repro.analysis.sweep import ENGINES
+    from repro.analysis.sweep import ENGINES, megabatch_curve_reason
     from repro.runner import WorkUnit
     from repro.sim.rng import spawn_seed
 
@@ -144,24 +153,35 @@ def figure_work_units(exp_id: str, quality: str = "fast",
     units = []
     for label, triplet in spec.curves:
         config = SystemConfig.parse(triplet)
-        for intensity in grid:
-            if config.network_type == "SBUS":
+        if config.network_type == "SBUS":
+            for intensity in grid:
                 units.append(WorkUnit("analytic-point", 0, {
                     "config": triplet,
                     "mu_ratio": spec.mu_ratio,
                     "intensity": intensity,
                 }, backend=solver))
-            else:
-                units.append(WorkUnit(
-                    "sweep-point",
-                    spawn_seed(seed, triplet, intensity),
-                    {
-                        "config": triplet,
-                        "mu_ratio": spec.mu_ratio,
-                        "intensity": intensity,
-                        "horizon": horizon,
-                        "engine": engine,
-                    }))
+            continue
+        if (engine == "megabatch" and grid
+                and megabatch_curve_reason(config, spec.mu_ratio) is None):
+            units.append(WorkUnit("megabatch-figure", seed, {
+                "config": triplet,
+                "mu_ratio": spec.mu_ratio,
+                "intensities": grid,
+                "horizon": horizon,
+            }))
+            continue
+        point_engine = "batched" if engine == "megabatch" else engine
+        for intensity in grid:
+            units.append(WorkUnit(
+                "sweep-point",
+                spawn_seed(seed, triplet, intensity),
+                {
+                    "config": triplet,
+                    "mu_ratio": spec.mu_ratio,
+                    "intensity": intensity,
+                    "horizon": horizon,
+                    "engine": point_engine,
+                }))
     return spec, grid, units
 
 
@@ -202,11 +222,20 @@ def figure_series(exp_id: str, quality: str = "fast",
                 "replayed from it, so a cache-less runner has nothing to "
                 "resume from")
         runner.resume = True
-    points = runner.run_values(units)
+    values = runner.run_values(units)
     series = []
-    for index, (label, triplet) in enumerate(spec.curves):
+    cursor = 0
+    for label, triplet in spec.curves:
         config = SystemConfig.parse(triplet)
-        curve_points = points[index * len(grid):(index + 1) * len(grid)]
+        # A curve is either one megabatch-figure unit (value: the whole
+        # point list) or len(grid) per-point units, in unit order.
+        if (cursor < len(units)
+                and units[cursor].evaluator_id == "megabatch-figure"):
+            curve_points = list(values[cursor])
+            cursor += 1
+        else:
+            curve_points = values[cursor:cursor + len(grid)]
+            cursor += len(grid)
         method = ("markov-chain" if config.network_type == "SBUS"
                   else "event-simulation")
         series.append(Series(label=label, config=config,

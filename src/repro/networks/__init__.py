@@ -11,6 +11,7 @@ from repro.networks.base import Connection, NetworkFabric, SingleBusFabric
 from repro.networks.batched_crossbar import (
     BatchedCrossbar,
     BatchedCycleResult,
+    masked_match_pairs_batch,
     match_pairs_batch,
     match_requests_batch,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "cell_logic_batch",
     "BatchedCrossbar",
     "BatchedCycleResult",
+    "masked_match_pairs_batch",
     "match_pairs_batch",
     "match_requests_batch",
     "priority_match",

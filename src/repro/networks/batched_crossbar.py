@@ -25,6 +25,15 @@ together:
 The lockstep replication engine (:mod:`repro.sim.batched`) drives
 :meth:`match_requests`; gate-level studies (Table I timing) use the full
 wavefront.
+
+Faulted switches: a dead crosspoint is *transparent* (it passes X and Y
+through and never latches — see :func:`~repro.networks.cells.cell_logic`),
+so rank pairing no longer applies (a row may have to skip a reachable-rank
+column whose cell is dead).  :func:`masked_match_pairs_batch` instead runs
+the anti-diagonal wavefront with the dead cells masked into the gate
+planes, which is exactly the sequential greedy allocation the scalar
+:class:`~repro.networks.crossbar.CrossbarFabric` performs around its
+failed-component set.
 """
 
 from __future__ import annotations
@@ -80,6 +89,9 @@ class BatchedCrossbar:
         self.buses = buses
         self._latch = np.zeros((replications, processors, buses),
                                dtype=np.uint8)
+        # Dead crosspoints are shared by all replications: the batch models
+        # R copies of the *same* (possibly degraded) switch.
+        self._alive = np.ones((processors, buses), dtype=np.uint8)
         # Anti-diagonal index vectors: cells (i, j) with i + j == d, for
         # d = 0 .. p + m - 2, precomputed once per switch shape.
         self._diagonals: List[Tuple[np.ndarray, np.ndarray]] = []
@@ -101,6 +113,32 @@ class BatchedCrossbar:
         columns[self._latch.sum(axis=2) == 0] = -1
         return columns
 
+    @property
+    def alive_mask(self) -> np.ndarray:
+        """A copy of the shared ``(p, m)`` live-cell mask."""
+        return self._alive.copy()
+
+    # -- fault injection -----------------------------------------------------
+    def fail_cell(self, row: int, column: int) -> None:
+        """Mark cell ``(row, column)`` dead in every replication."""
+        self._validate_cell(row, column)
+        if self._latch[:, row, column].any():
+            raise SchedulingError(
+                f"cell ({row}, {column}) failed while latched; "
+                f"sever the circuit first")
+        self._alive[row, column] = 0
+
+    def repair_cell(self, row: int, column: int) -> None:
+        """Return cell ``(row, column)`` to service in every replication."""
+        self._validate_cell(row, column)
+        self._alive[row, column] = 1
+
+    def _validate_cell(self, row: int, column: int) -> None:
+        if not 0 <= row < self.processors:
+            raise SchedulingError(f"row {row} out of range")
+        if not 0 <= column < self.buses:
+            raise SchedulingError(f"column {column} out of range")
+
     # -- cycles ------------------------------------------------------------
     def request_cycle(self, requesting: np.ndarray,
                       available: np.ndarray) -> BatchedCycleResult:
@@ -120,10 +158,12 @@ class BatchedCrossbar:
         x[:, :, 0] = x_edge
         y[:, 0, :] = y_edge
         granted = np.zeros(shape, dtype=np.uint8)
+        masked = bool((self._alive ^ 1).any())
         for rows, cols in self._diagonals:
             x_next, y_next, set_latch, _reset = cell_logic_batch(
                 MODE_REQUEST, x[:, rows, cols], y[:, rows, cols],
-                self._latch[:, rows, cols])
+                self._latch[:, rows, cols],
+                alive=self._alive[rows, cols] if masked else None)
             x[:, rows, cols + 1] = x_next
             y[:, rows + 1, cols] = y_next
             granted[:, rows, cols] = set_latch
@@ -161,10 +201,18 @@ class BatchedCrossbar:
         ``k < min(#requests, #available)`` — exactly what the wavefront
         computes when no latch blocks the Y edge.  Returns the ``(R, p, m)``
         grant mask.  State-free: the caller owns bus/latch bookkeeping.
+        With dead cells the closed form no longer holds and the call routes
+        through the masked wavefront instead.
         """
         shape = (self.replications, self.processors, self.buses)
         x_edge = _as_mask(requesting, shape[:2], "requesting")
         y_edge = _as_mask(available, (shape[0], shape[2]), "available")
+        if (self._alive ^ 1).any():
+            reps, rows, cols = masked_match_pairs_batch(x_edge, y_edge,
+                                                        self._alive)
+            grants = np.zeros(shape, dtype=np.uint8)
+            grants[reps, rows, cols] = 1
+            return grants
         return match_requests_batch(x_edge, y_edge)
 
 
@@ -192,6 +240,48 @@ def match_pairs_batch(requesting: np.ndarray, available: np.ndarray
     if rep_rows.shape != rep_cols.shape or (rep_rows != rep_cols).any():
         raise SchedulingError("rank pairing desynchronized (kernel bug)")
     return rep_rows, rows, cols
+
+
+def masked_match_pairs_batch(requesting: np.ndarray, available: np.ndarray,
+                             alive: np.ndarray
+                             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Priority matching around dead crosspoints, for every replication.
+
+    ``alive`` is the shared ``(p, m)`` live-cell mask.  Rank pairing
+    assumes every requesting row can reach every available column; a dead
+    cell breaks that, so this routes the ``(R, p)`` X-edge and ``(R, m)``
+    Y-edge through the latch-free anti-diagonal wavefront with the dead
+    cells masked into the gate planes.  The wavefront *is* the sequential
+    greedy allocation of the scalar fabric (rows ascending, each taking
+    the lowest available column whose cell is live and that no smaller row
+    claimed), so the returned ``(replications, rows, columns)`` triples
+    come out replication-major and row-ascending — the same layout and
+    order as :func:`match_pairs_batch`.
+    """
+    live = np.asarray(alive, dtype=np.uint8)
+    reps, p = requesting.shape
+    m = available.shape[1]
+    if live.shape != (p, m):
+        raise SchedulingError(
+            f"alive mask must have shape {(p, m)}, got {live.shape}")
+    x = np.zeros((reps, p, m + 1), dtype=np.uint8)
+    y = np.zeros((reps, p + 1, m), dtype=np.uint8)
+    x[:, :, 0] = requesting
+    y[:, 0, :] = available
+    granted = np.zeros((reps, p, m), dtype=np.uint8)
+    for d in range(p + m - 1):
+        rows = np.arange(max(0, d - m + 1), min(p - 1, d) + 1)
+        cols = d - rows
+        x_in = x[:, rows, cols]
+        x_next, y_next, set_latch, _reset = cell_logic_batch(
+            MODE_REQUEST, x_in, y[:, rows, cols], np.zeros_like(x_in),
+            alive=live[rows, cols])
+        x[:, rows, cols + 1] = x_next
+        y[:, rows + 1, cols] = y_next
+        granted[:, rows, cols] = set_latch
+    # nonzero on the (R, p, m) cube is row-major: replication-major, then
+    # row-ascending (each row grants at most one column).
+    return np.nonzero(granted)
 
 
 def match_requests_batch(requesting: np.ndarray,

@@ -13,7 +13,10 @@ Registered evaluators:
 * ``analytic-point``     — one exact Markov-chain figure point (``SweepPoint``);
 * ``replication-delay``  — one replication's mean queueing delay (``float``);
 * ``replication-delay-batched`` — a whole wave of replications advanced in
-  lockstep by the batched engine (``list[float]``, seed order).
+  lockstep by the batched engine (``list[float]``, seed order);
+* ``megabatch-figure``   — a whole figure curve as one 2-D mega-batch
+  (``list[SweepPoint]``, intensity order), bit-identical per point to the
+  ``sweep-point`` units it replaces.
 """
 
 from __future__ import annotations
@@ -202,3 +205,41 @@ def replication_delay_batched(seed: int, params: Mapping[str, Any],
         params["config"], workload, horizon=params["horizon"],
         warmup=params["warmup"], seeds=seeds,
         arbitration=params.get("arbitration", "priority"))
+
+
+@evaluator("megabatch-figure", reads=("config", "mu_ratio", "intensities",
+                                      "horizon", "warmup_fraction",
+                                      "arbitration", "saturation_guard"))
+def megabatch_figure(seed: int, params: Mapping[str, Any],
+                     backend: str = DEFAULT_BACKEND) -> list:
+    """A whole figure curve of sweep points as one 2-D mega-batch.
+
+    ``seed`` is the figure's master seed; each point derives the same
+    ``spawn_seed(seed, config, intensity)`` seed the per-point
+    ``sweep-point`` units of that figure carry, so the returned points
+    equal a per-point ``engine="batched"`` run bit for bit — the curve's
+    (point, replication) grid just advances in one lockstep batch.  The
+    per-point loop is kept as a fallback so a curve that slips past the
+    gate probe still evaluates (point by point, scalar where needed)
+    rather than failing the sweep.
+    """
+    from repro.analysis.sweep import megabatch_sweep_points, simulated_point
+    from repro.sim.rng import spawn_seed
+
+    triplet = params["config"]
+    intensities = list(params["intensities"])
+    point_seeds = [spawn_seed(seed, triplet, intensity)
+                   for intensity in intensities]
+    shared = dict(
+        horizon=params["horizon"],
+        warmup_fraction=params.get("warmup_fraction", 0.1),
+        arbitration=params.get("arbitration", "priority"),
+        saturation_guard=params.get("saturation_guard", 0.98))
+    points = megabatch_sweep_points(
+        triplet, params["mu_ratio"], intensities,
+        point_seeds=point_seeds, **shared)
+    if points is not None:
+        return points
+    return [simulated_point(triplet, params["mu_ratio"], intensity,
+                            seed=point_seed, engine="batched", **shared)
+            for intensity, point_seed in zip(intensities, point_seeds)]

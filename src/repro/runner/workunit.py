@@ -31,7 +31,10 @@ from repro.errors import ConfigurationError
 #:    material, so scalar and batched results never serve for each other.
 #: 4: on-disk cache entries became checksummed envelopes (digest + payload
 #:    sha256); pre-envelope pickles are unverifiable, so they must miss.
-CACHE_SCHEMA_VERSION = 4
+#: 5: the mega-batch engine arrived (whole-curve ``megabatch-figure``
+#:    units; the batchability gate widened to deterministic service and
+#:    static cell faults), so pre-megabatch entries must miss.
+CACHE_SCHEMA_VERSION = 5
 
 #: The reference solver backend: per-point dense solves with no cross-point
 #: state, the backend whose results every other backend must reproduce.

@@ -1,69 +1,97 @@
-"""Lockstep batched replication engine for crossbar configurations.
+"""Lockstep batched simulation: replications — and whole figures — as one
+structure-of-arrays sweep.
 
 The scalar path to a replication study is ``R`` independent
 :class:`~repro.core.system.RsinSystem` runs: each simulated event costs a
 heap pop, a callback dispatch, and a handful of Python object mutations.
-This module advances all ``R`` replications of one sweep point *in
-lockstep* instead — every piece of mutable state lives in a
-structure-of-arrays layout over a leading replication axis, and each
-iteration of the outer loop advances **every live replication by exactly
-one event** with vectorized NumPy updates:
+This module advances many independent runs *in lockstep* instead — every
+piece of mutable state lives in a structure-of-arrays layout over a
+leading row axis, and each iteration of the outer loop advances **every
+live row by exactly one event** with vectorized NumPy updates:
 
-* the event calendar is one ``(R, 2 P + ports * r)`` ``float64`` array —
+* the event calendar is one ``(K, 2 P + ports * r)`` ``float64`` array —
   next arrival per processor, transmission end per processor, service end
   per resource slot, side by side — so the calendar advance is a single
-  axis-min plus one argmin over the live replications, and the flat column
-  index *is* the event type;
-* holding times come from :class:`VariateTable`\\ s: per-``(replication,
-  stream)`` blocks of pre-transformed variates in one 2-D buffer, gathered
-  for a whole event batch with one fancy index (see the class docstring
-  for how block refills preserve bit-identity);
+  axis-min plus one argmin over the live rows, and the flat column index
+  *is* the event type;
+* holding times come from :class:`VariateTable`\\ s: per-``(row, stream)``
+  blocks of pre-transformed variates in one 2-D buffer, gathered for a
+  whole event batch with one fancy index (see the class docstring for how
+  block refills preserve bit-identity);
 * FIFO queues are ring buffers of task creation times in one
-  ``(R, P, capacity)`` array;
+  ``(K, P, capacity)`` array;
 * dispatch is the batched priority matcher of
   :mod:`repro.networks.batched_crossbar` — the closed form of the
-  crossbar cells' wavefront — executed once per partition for every
-  replication at once;
+  crossbar cells' wavefront, or the masked wavefront itself when the
+  fabric carries dead crosspoints — executed once per partition for every
+  row at once;
 * mean queueing delay accumulates by Welford's recurrence exactly as
   :class:`repro.sim.stats.TallyStat` does, vectorized when every granted
-  replication appears once and replayed sequentially when one replication
-  receives several grants in a single status broadcast.
+  row appears once and replayed sequentially when one row receives
+  several grants in a single status broadcast.
 
-**The lockstep invariant.**  Replication ``k`` of a batched run is
-*bit-identical* to ``simulate(config, workload, horizon, warmup,
-seed=seeds[k])``: the same named streams (``arrivals-{p}``,
+**The 2-D mega-batch.**  :class:`MegaBatchEngine` generalizes the row
+axis from "R replications of one sweep point" to ``K = sum of
+(replications per point)`` rows spanning a whole figure curve: the
+``point_of_row`` index map sends each row back to its sweep point, and
+per-row arrival/transmission/service rates replace the single-point
+scalars in the variate tables.  Because rows never interact, the merged
+run is the per-point runs interleaved — same draws, same float
+operations, same order within each row — while the outer Python loop runs
+``max`` instead of ``sum`` of the per-point event counts, which is where
+the throughput multiplier over :class:`BatchedReplicationEngine` (itself
+a one-point mega-batch) comes from.
+
+**The lockstep invariant.**  Row ``k`` of a batched run is
+*bit-identical* to ``simulate(config, workload_of_row_k, horizon, warmup,
+seed=row_seed_k)``: the same named streams (``arrivals-{p}``,
 ``transmission-{g}``, ``service-{g}``, seeds derived via
 :func:`repro.sim.rng.spawn_seed` exactly as ``RandomStreams`` derives
 them) are consumed in the same order with the same Mersenne Twister
 variates, and every state update applies the same float operations in the
-same per-replication order.  The scalar engine's draw order is
-reproducible because its streams are independent per concern: within
+same per-row order.  The scalar engine's draw order is reproducible
+because its streams are independent per concern: within
 ``transmission-{g}`` draws happen in dispatch order (ascending processor
 index inside each status broadcast, chronological across events), within
 ``service-{g}`` in transmission-completion order, and within
 ``arrivals-{p}`` trivially — all orders the lockstep loop preserves.  A
-regression test checks equality of per-replication delay estimates over a
+regression test checks equality of per-row delay estimates over a
 randomized ``(p, m, r, rho)`` grid.
 
-Scope: healthy (fault-free) ``XBAR`` configurations under ``"priority"``
-arbitration with continuous holding-time distributions.  Anything else
-falls back to the scalar engine — deterministic distributions tie event
-timestamps, and ties resolve by heap insertion order, which a lockstep
-argmin cannot reproduce.
+Scope (see :func:`batched_unsupported_reason` for the precise gate):
+``XBAR`` configurations under ``"priority"`` arbitration whose
+interarrival and transmission distributions are continuous.  The service
+distribution may additionally be ``"deterministic"``: service ends
+inherit continuous transmission-end timestamps plus a constant, so their
+ties stay measure-zero, whereas a deterministic transmission or
+interarrival time lattices event timestamps and tie order is a
+heap-insertion property the lockstep argmin cannot reproduce.  Fault
+configurations are supported exactly when they reduce to a *static*
+degraded fabric: every stochastic model silent (``mttf = inf``), an
+explicit schedule of cell-down events at time 0, and an infinite task
+timeout — then the scalar run equals a healthy run with those crosspoints
+masked out of dispatch (no circuit exists at time 0 to sever, so no
+retries, no backoff draws, no queue expiry), which is precisely what
+masking the dead cells into the matcher's gate planes computes.
+Anything else falls back to the scalar engine.
 """
 
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from numpy.typing import NDArray
 
 from repro.config import SystemConfig
 from repro.errors import ConfigurationError
-from repro.networks.batched_crossbar import match_pairs_batch
+from repro.networks.batched_crossbar import (
+    masked_match_pairs_batch,
+    match_pairs_batch,
+)
 from repro.sim.rng import BATCH_BLOCK, spawn_seed, uniform_block_source
 
 if TYPE_CHECKING:  # pragma: no cover - circular at runtime (arrivals uses rng)
@@ -75,15 +103,52 @@ _INITIAL_QUEUE_CAPACITY = 32
 #: Distributions whose holding times are continuous (ties measure-zero).
 _CONTINUOUS_DISTRIBUTIONS = ("exponential", "hyperexponential")
 
+#: Distributions a :class:`VariateTable` can serve.  ``deterministic``
+#: rows refill with a constant block and consume no uniforms, matching
+#: ``sample_time``'s no-draw contract for that distribution.
+_TABLE_DISTRIBUTIONS = _CONTINUOUS_DISTRIBUTIONS + ("deterministic",)
+
 #: Expected draws per stream above which a table's block refills use the
 #: numpy generator (whose one-time construction costs ~15 blocks of scalar
 #: generation — see :func:`repro.sim.rng.uniform_block_source`).
 _VECTORIZED_REFILL_CROSSOVER = 4096
 
+#: Environment variable overriding the refill crossover (an integer; 0
+#: forces every stream onto the vectorized numpy backend).  Both backends
+#: emit bit-identical sequences, so the knob tunes throughput only.
+_CROSSOVER_ENV = "REPRO_VARIATE_BLOCK"
+
 _INF = math.inf
 
 _FloatArray = NDArray[np.float64]
 _IntArray = NDArray[np.int64]
+
+
+def variate_refill_crossover(override: Optional[int] = None) -> int:
+    """The effective numpy/scalar refill crossover (expected draws).
+
+    Resolution order: explicit ``override`` (an engine's ``crossover``
+    constructor argument), then the ``REPRO_VARIATE_BLOCK`` environment
+    variable, then the built-in default.  The crossover selects between
+    two bit-identical uniform backends, so it can never change results —
+    only where the generator-construction overhead is paid.
+    """
+    if override is None:
+        raw = os.environ.get(_CROSSOVER_ENV, "").strip()
+        if not raw:
+            return _VECTORIZED_REFILL_CROSSOVER
+        try:
+            value = int(raw)
+        except ValueError as error:
+            raise ConfigurationError(
+                f"{_CROSSOVER_ENV} must be an integer, got {raw!r}"
+            ) from error
+    else:
+        value = int(override)
+    if value < 0:
+        raise ConfigurationError(
+            f"variate refill crossover must be non-negative, got {value}")
+    return value
 
 
 class VariateTable:
@@ -104,36 +169,69 @@ class VariateTable:
     * ``exponential`` — one uniform per variate, ``-log(1 - u) / rate``;
     * ``hyperexponential`` — exactly two uniforms per variate (branch,
       then magnitude), so a block of ``block`` uniforms yields ``block/2``
-      variates with the same pairing the scalar draw order produces.
+      variates with the same pairing the scalar draw order produces;
+    * ``deterministic`` — constant ``1 / rate`` blocks, no uniforms at
+      all (``sample_time`` does not touch the stream either).
+
+    ``rate`` and ``vectorized`` accept either one value for every row or
+    a per-row sequence — the mega-batch engine threads a different sweep
+    point's rate through each row of one table.
     """
 
     __slots__ = ("rate", "distribution", "_block", "_draws_per_block",
-                 "_sources", "_buffers", "_cursors",
-                 "_probability", "_fast_rate", "_slow_rate")
+                 "_sources", "_buffers", "_cursors", "_rates",
+                 "_probability", "_fast_rates", "_slow_rates")
 
-    def __init__(self, seeds: Sequence[int], rate: float, distribution: str,
-                 block: int = BATCH_BLOCK, vectorized: bool = True):
-        if rate <= 0:
-            raise ConfigurationError(f"rate must be positive, got {rate}")
-        if distribution not in _CONTINUOUS_DISTRIBUTIONS:
+    def __init__(self, seeds: Sequence[int],
+                 rate: Union[float, Sequence[float]],
+                 distribution: str,
+                 block: int = BATCH_BLOCK,
+                 vectorized: Union[bool, Sequence[bool]] = True):
+        count = len(seeds)
+        if isinstance(rate, (int, float)):
+            rates = [float(rate)] * count
+        else:
+            rates = [float(value) for value in rate]
+        if len(rates) != count:
             raise ConfigurationError(
-                f"variate table supports {_CONTINUOUS_DISTRIBUTIONS}, "
+                f"need one rate per stream: {count} seeds, "
+                f"{len(rates)} rates")
+        for value in rates:
+            if value <= 0:
+                raise ConfigurationError(
+                    f"rate must be positive, got {value}")
+        if distribution not in _TABLE_DISTRIBUTIONS:
+            raise ConfigurationError(
+                f"variate table supports {_TABLE_DISTRIBUTIONS}, "
                 f"got {distribution!r}")
         if block < 2 or block % 2:
             raise ConfigurationError(
                 f"block must be a positive even count, got {block}")
+        if isinstance(vectorized, bool):
+            flags = [vectorized] * count
+        else:
+            flags = [bool(flag) for flag in vectorized]
+        if len(flags) != count:
+            raise ConfigurationError(
+                f"need one vectorized flag per stream: {count} seeds, "
+                f"{len(flags)} flags")
         self.rate = rate
         self.distribution = distribution
         self._block = block
-        self._draws_per_block = (block if distribution == "exponential"
-                                 else block // 2)
-        self._sources = [uniform_block_source(int(seed), vectorized)
-                         for seed in seeds]
+        self._rates = rates
+        self._draws_per_block = (block // 2
+                                 if distribution == "hyperexponential"
+                                 else block)
+        # Deterministic rows never consume a uniform, so their sources
+        # (and the generator construction behind them) are skipped.
+        self._sources = (None if distribution == "deterministic" else
+                         [uniform_block_source(int(seed), flag)
+                          for seed, flag in zip(seeds, flags)])
         self._buffers: _FloatArray = np.empty(
-            (len(self._sources), self._draws_per_block), dtype=np.float64)
+            (count, self._draws_per_block), dtype=np.float64)
         # Cursors start exhausted: each row refills on first use.
         self._cursors: _IntArray = np.full(
-            len(self._sources), self._draws_per_block, dtype=np.int64)
+            count, self._draws_per_block, dtype=np.int64)
         # The balanced-means two-phase constants of sample_time; rates are
         # precomputed with its exact expressions (2.0 * p * rate order).
         from repro.workload.arrivals import _HYPER_CV2
@@ -141,18 +239,24 @@ class VariateTable:
         probability = 0.5 * (1.0 + math.sqrt(
             (_HYPER_CV2 - 1.0) / (_HYPER_CV2 + 1.0)))
         self._probability = probability
-        self._fast_rate = 2.0 * probability * rate
-        self._slow_rate = 2.0 * (1.0 - probability) * rate
+        self._fast_rates = [2.0 * probability * value for value in rates]
+        self._slow_rates = [2.0 * (1.0 - probability) * value
+                            for value in rates]
 
     def _refill(self, row: int) -> None:
+        if self._sources is None:
+            self._buffers[row, :] = 1.0 / self._rates[row]
+            self._cursors[row] = 0
+            return
         uniforms = self._sources[row](self._block)
         log = math.log
         if self.distribution == "exponential":
-            rate = self.rate
+            rate = self._rates[row]
             values = [-log(1.0 - u) / rate for u in uniforms]
         else:
             probability = self._probability
-            fast, slow = self._fast_rate, self._slow_rate
+            fast = self._fast_rates[row]
+            slow = self._slow_rates[row]
             pairs = iter(uniforms)
             values = [-log(1.0 - v) / (fast if u < probability else slow)
                       for u, v in zip(pairs, pairs)]
@@ -199,69 +303,230 @@ class BatchedReplicationResult:
     measurement_start: float
 
 
+@dataclass(frozen=True)
+class MegaBatchResult:
+    """Per-(point, replication) delay estimates of one mega-batch run.
+
+    Outer index is the sweep point, inner index the replication within
+    that point's seed group; ``mean_delays[i][k]`` equals the scalar
+    engine's ``mean_queueing_delay`` for point ``i`` with seed
+    ``seed_groups[i][k]``.
+    """
+
+    seed_groups: Tuple[Tuple[int, ...], ...]
+    mean_delays: Tuple[Tuple[float, ...], ...]
+    delay_counts: Tuple[Tuple[int, ...], ...]
+    completed: Tuple[Tuple[int, ...], ...]
+    simulated_time: float
+    measurement_start: float
+
+
+def _fault_reason(config: SystemConfig) -> Optional[str]:
+    """Why ``config.faults`` is not batchable, or None when it is.
+
+    The batched engines support exactly the *static degraded fabric*: a
+    fault configuration whose only effect is a fixed set of dead crossbar
+    cells from time 0.  Then no circuit exists to sever when the events
+    fire, no retry (and no backoff draw) ever happens, queue expiry is
+    off, and the stochastic processes are provably silent — so the scalar
+    run equals a healthy run with those crosspoints masked out of
+    dispatch, which the masked wavefront matcher reproduces.
+    """
+    faults = config.faults
+    if faults is None:
+        return None
+    for model in faults.models:
+        if model.mttf != math.inf:
+            return ("stochastic fault processes (only a static time-0 "
+                    "cell-down schedule masks into the batched gate planes)")
+    if faults.retry.task_timeout != math.inf:
+        return ("a finite task timeout (queue expiry is a scalar-engine "
+                "feature)")
+    schedule = faults.schedule
+    if schedule is None or len(schedule) == 0:
+        return None
+    seen = set()
+    for event in schedule.events:
+        if event.kind != "cell":
+            return (f"a {event.kind!r} fault schedule (only crossbar "
+                    "cell faults mask into the batched kernel)")
+        if event.time != 0.0 or event.action != "down":
+            return ("a dynamic fault schedule (only cells dead from time "
+                    "0 keep the run equal to a statically masked healthy "
+                    "run)")
+        try:
+            partition, pair = event.component
+            key = (int(partition), (int(pair[0]), int(pair[1])))
+        except (TypeError, ValueError, IndexError):
+            return (f"a malformed cell component {event.component!r} "
+                    "(expected (partition, (input, output)))")
+        if not (0 <= key[0] < config.num_networks
+                and 0 <= key[1][0] < config.processors_per_network
+                and 0 <= key[1][1] < config.outputs_per_network):
+            return f"an out-of-range cell component {event.component!r}"
+        if key in seen:
+            return f"duplicate cell-down events for {event.component!r}"
+        seen.add(key)
+    return None
+
+
+def batched_unsupported_reason(config: Union[SystemConfig, str],
+                               workload: Workload,
+                               arbitration: str = "priority"
+                               ) -> Optional[str]:
+    """Why this model cannot run on the batched path, or None when it can.
+
+    The returned string names the *first* blocking property — the one the
+    CLI surfaces when ``--engine batched|megabatch`` falls back to the
+    scalar engine.  The gate, in order:
+
+    * ``XBAR`` fabrics only (the lockstep matcher models crossbar cells);
+    * ``"priority"`` arbitration only (random arbitration draws
+      per-dispatch randomness the matcher does not model);
+    * a finite resource count per port (the calendar needs a fixed
+      service-slot axis);
+    * faults, if any, must reduce to a static time-0 cell-down schedule
+      (see :func:`_fault_reason`);
+    * continuous interarrival and transmission distributions (discrete
+      holding times tie event timestamps, and tie order is a
+      heap-insertion property the lockstep argmin cannot reproduce); the
+      *service* distribution may also be ``"deterministic"``, because
+      service ends inherit continuous transmission-end timestamps plus a
+      constant and stay tie-free almost surely.
+    """
+    if isinstance(config, str):
+        config = SystemConfig.parse(config)
+    if config.network_type != "XBAR":
+        return (f"{config.network_type} fabrics (the lockstep matcher "
+                "models crossbar cells only)")
+    if arbitration != "priority":
+        return (f"{arbitration!r} arbitration (per-dispatch randomness "
+                "the lockstep matcher does not model)")
+    if config.resources_per_port == math.inf:
+        return ("an infinite resource pool (the calendar needs a fixed "
+                "service-slot axis)")
+    fault_reason = _fault_reason(config)
+    if fault_reason is not None:
+        return fault_reason
+    for name, distribution in (
+            ("interarrival", workload.interarrival_distribution),
+            ("transmission", workload.transmission_distribution)):
+        if distribution not in _CONTINUOUS_DISTRIBUTIONS:
+            return (f"a {distribution!r} {name} distribution (equal "
+                    "timestamps would tie, and tie order is a "
+                    "heap-insertion property the lockstep calendar "
+                    "cannot reproduce)")
+    if workload.service_distribution not in _TABLE_DISTRIBUTIONS:
+        return (f"a {workload.service_distribution!r} service "
+                "distribution (no variate-table transform for it)")
+    return None
+
+
 def _require_batchable(config: SystemConfig, workload: Workload,
                        arbitration: str) -> None:
     """Reject models whose scalar event order lockstep cannot reproduce."""
-    if config.network_type != "XBAR":
+    reason = batched_unsupported_reason(config, workload, arbitration)
+    if reason is not None:
         raise ConfigurationError(
-            f"batched engine supports XBAR configurations only, got "
-            f"{config.network_type} (use the scalar engine)")
-    if config.faults is not None:
-        raise ConfigurationError(
-            "batched engine does not support fault injection "
-            "(use the scalar engine)")
-    if arbitration != "priority":
-        raise ConfigurationError(
-            f"batched engine supports 'priority' arbitration only, got "
-            f"{arbitration!r} (use the scalar engine)")
-    if config.resources_per_port == math.inf:
-        raise ConfigurationError(
-            "batched engine needs a finite resource count per port")
-    for name, distribution in (
-            ("interarrival", workload.interarrival_distribution),
-            ("transmission", workload.transmission_distribution),
-            ("service", workload.service_distribution)):
-        if distribution not in _CONTINUOUS_DISTRIBUTIONS:
-            raise ConfigurationError(
-                f"batched engine needs a continuous {name} distribution "
-                f"(got {distribution!r}: equal timestamps would tie, and "
-                "tie order is a heap-insertion property the lockstep "
-                "calendar cannot reproduce)")
+            f"batched engine does not support {reason}; "
+            "use the scalar engine")
 
 
-class BatchedReplicationEngine:
-    """``R`` replications of one ``(config, workload)`` point in lockstep.
+def _static_cell_masks(config: SystemConfig) -> Optional[np.ndarray]:
+    """Per-partition live-cell masks of a statically degraded fabric.
+
+    Returns a ``(partitions, per_partition, ports)`` ``uint8`` array with
+    0 at each dead crosspoint, or None for a healthy fabric.  Callers
+    must have validated the configuration via the batchability gate; this
+    only translates the schedule into mask form.
+    """
+    faults = config.faults
+    if (faults is None or faults.schedule is None
+            or len(faults.schedule) == 0):
+        return None
+    masks = np.ones((config.num_networks, config.processors_per_network,
+                     config.outputs_per_network), dtype=np.uint8)
+    for event in faults.schedule.events:
+        partition, pair = event.component
+        masks[int(partition), int(pair[0]), int(pair[1])] = 0
+    return masks
+
+
+class MegaBatchEngine:
+    """``K = points x replications`` lockstep rows spanning a figure curve.
+
+    Each *point* is one ``(workload, seed group)`` pair sharing the
+    configuration and holding-time distributions; row ``k`` of the merged
+    batch simulates replication ``seed_groups[point_of_row[k]]...`` of its
+    point, bit-identically to the scalar engine with that seed.
 
     >>> from repro import SystemConfig, Workload
-    >>> from repro.sim.batched import BatchedReplicationEngine
-    >>> engine = BatchedReplicationEngine(
+    >>> from repro.sim.batched import MegaBatchEngine
+    >>> engine = MegaBatchEngine(
     ...     SystemConfig.parse("16/1x16x8 XBAR/2"),
-    ...     Workload(0.05, 1.0, 0.1), seeds=range(100, 108))
+    ...     [Workload(0.05, 1.0, 0.1), Workload(0.08, 1.0, 0.1)],
+    ...     seed_groups=[range(8), range(8)])
     >>> result = engine.run(horizon=2000.0, warmup=200.0)
 
     May be run once per instance, like the scalar system.
     """
 
-    def __init__(self, config: Union[SystemConfig, str], workload: Workload,
-                 seeds: Sequence[int], arbitration: str = "priority"):
+    def __init__(self, config: Union[SystemConfig, str],
+                 workloads: Sequence[Workload],
+                 seed_groups: Sequence[Sequence[int]],
+                 arbitration: str = "priority",
+                 crossover: Optional[int] = None):
         if isinstance(config, str):
             config = SystemConfig.parse(config)
-        _require_batchable(config, workload, arbitration)
-        seed_list = [int(seed) for seed in seeds]
-        if not seed_list:
+        workload_list = list(workloads)
+        if not workload_list:
+            raise ConfigurationError(
+                "mega-batch engine needs at least one point")
+        if len(seed_groups) != len(workload_list):
+            raise ConfigurationError(
+                f"need one seed group per point: {len(workload_list)} "
+                f"workloads, {len(seed_groups)} seed groups")
+        group_list = [[int(seed) for seed in group] for group in seed_groups]
+        if any(not group for group in group_list):
             raise ConfigurationError("batched engine needs at least one seed")
+        for workload in workload_list:
+            _require_batchable(config, workload, arbitration)
+        first = workload_list[0]
+        for workload in workload_list[1:]:
+            if (workload.interarrival_distribution,
+                    workload.transmission_distribution,
+                    workload.service_distribution) != (
+                    first.interarrival_distribution,
+                    first.transmission_distribution,
+                    first.service_distribution):
+                raise ConfigurationError(
+                    "mega-batch points must share their holding-time "
+                    "distributions (rates may differ per point)")
         self.config = config
-        self.workload = workload
-        self.seeds: Tuple[int, ...] = tuple(seed_list)
+        self.workloads: Tuple[Workload, ...] = tuple(workload_list)
+        self.seed_groups: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(group) for group in group_list)
         self._started = False
+        self._crossover = variate_refill_crossover(crossover)
+        self._alive_masks = _static_cell_masks(config)
 
-        replications = len(seed_list)
+        self._row_seeds: List[int] = [seed for group in group_list
+                                      for seed in group]
+        self._row_points: List[int] = [index
+                                       for index, group in
+                                       enumerate(group_list)
+                                       for _ in group]
+        #: Row -> sweep-point index map of the flattened 2-D batch.
+        self.point_of_row: _IntArray = np.asarray(self._row_points,
+                                                  dtype=np.int64)
+
+        rows = len(self._row_seeds)
         processors = config.processors
         partitions = config.num_networks
         ports = config.outputs_per_network
         total_ports = partitions * ports
         resources = int(config.resources_per_port)
-        self._replications = replications
+        self._rows = rows
         self._processors = processors
         self._partitions = partitions
         self._per_partition = config.processors_per_network
@@ -269,69 +534,88 @@ class BatchedReplicationEngine:
         self._resources = resources
 
         # The calendar: [0, P) next arrivals, [P, 2P) transmission ends,
-        # [2P, 2P + total_ports * r) service ends, one row per replication.
+        # [2P, 2P + total_ports * r) service ends, one row per
+        # (point, replication).
         width = 2 * processors + total_ports * resources
         self._calendar: _FloatArray = np.full(
-            (replications, width), _INF, dtype=np.float64)
+            (rows, width), _INF, dtype=np.float64)
         self._next_arrival = self._calendar[:, :processors]
         self._transmission_end = self._calendar[:, processors:2 * processors]
         self._service_end = self._calendar[:, 2 * processors:].reshape(
-            replications, total_ports, resources)
+            rows, total_ports, resources)
 
         self._connected_port: _IntArray = np.full(
-            (replications, processors), -1, dtype=np.int64)
+            (rows, processors), -1, dtype=np.int64)
         self._queue_capacity = _INITIAL_QUEUE_CAPACITY
         self._queue_created: _FloatArray = np.zeros(
-            (replications, processors, self._queue_capacity),
-            dtype=np.float64)
+            (rows, processors, self._queue_capacity), dtype=np.float64)
         self._queue_start: _IntArray = np.zeros(
-            (replications, processors), dtype=np.int64)
+            (rows, processors), dtype=np.int64)
         self._queue_length: _IntArray = np.zeros(
-            (replications, processors), dtype=np.int64)
+            (rows, processors), dtype=np.int64)
         self._bus_busy: NDArray[np.uint8] = np.zeros(
-            (replications, total_ports), dtype=np.uint8)
+            (rows, total_ports), dtype=np.uint8)
         self._busy_resources: _IntArray = np.zeros(
-            (replications, total_ports), dtype=np.int64)
+            (rows, total_ports), dtype=np.int64)
         # Welford accumulators, matching TallyStat.record exactly.
-        self._delay_count: _IntArray = np.zeros(replications, dtype=np.int64)
-        self._delay_mean: _FloatArray = np.zeros(replications, dtype=np.float64)
-        self._completed: _IntArray = np.zeros(replications, dtype=np.int64)
+        self._delay_count: _IntArray = np.zeros(rows, dtype=np.int64)
+        self._delay_mean: _FloatArray = np.zeros(rows, dtype=np.float64)
+        self._completed: _IntArray = np.zeros(rows, dtype=np.int64)
         self._transmission_table: VariateTable
 
     def _build_tables(self, horizon: float
                       ) -> Tuple[VariateTable, VariateTable, VariateTable]:
-        """Stream tables, one row per (replication, scalar stream).
+        """Stream tables, one row per (batch row, scalar stream).
 
-        Each table picks its refill backend by expected consumption: the
-        numpy generator's one-time construction only beats scalar block
+        Each table row carries its own rate (its point's workload) and
+        picks its refill backend by expected consumption: the numpy
+        generator's one-time construction only beats scalar block
         generation for streams that will be drawn from thousands of times
         (per-processor arrival streams usually will not; per-partition
         transmission and service streams on long horizons will).
         """
-        workload = self.workload
-        seed_list = self.seeds
+        workloads = self.workloads
         processors = self._processors
         partitions = self._partitions
-        arrivals_expected = workload.arrival_rate * horizon
-        # In a stable system every arrival is eventually dispatched and
-        # served, so per-partition streams see ~arrivals-per-partition.
-        dispatches_expected = (workload.arrival_rate * self._per_partition
-                               * horizon)
+        per_partition = self._per_partition
+        crossover = self._crossover
+        first = workloads[0]
+
+        arrival_seeds: List[int] = []
+        arrival_rates: List[float] = []
+        arrival_flags: List[bool] = []
+        stream_seeds: List[int] = []
+        transmission_rates: List[float] = []
+        service_rates: List[float] = []
+        stream_flags: List[bool] = []
+        for seed, point in zip(self._row_seeds, self._row_points):
+            workload = workloads[point]
+            arrivals_expected = workload.arrival_rate * horizon
+            # In a stable system every arrival is eventually dispatched
+            # and served, so per-partition streams see
+            # ~arrivals-per-partition.
+            dispatches_expected = (workload.arrival_rate * per_partition
+                                   * horizon)
+            for p in range(processors):
+                arrival_seeds.append(spawn_seed(seed, f"arrivals-{p}"))
+                arrival_rates.append(workload.arrival_rate)
+                arrival_flags.append(arrivals_expected >= crossover)
+            for g in range(partitions):
+                stream_seeds.append(spawn_seed(seed, f"transmission-{g}"))
+                transmission_rates.append(workload.transmission_rate)
+                service_rates.append(workload.service_rate)
+                stream_flags.append(dispatches_expected >= crossover)
         arrival_table = VariateTable(
-            [spawn_seed(seed, f"arrivals-{p}")
-             for seed in seed_list for p in range(processors)],
-            workload.arrival_rate, workload.interarrival_distribution,
-            vectorized=arrivals_expected >= _VECTORIZED_REFILL_CROSSOVER)
+            arrival_seeds, arrival_rates, first.interarrival_distribution,
+            vectorized=arrival_flags)
         transmission_table = VariateTable(
-            [spawn_seed(seed, f"transmission-{g}")
-             for seed in seed_list for g in range(partitions)],
-            workload.transmission_rate, workload.transmission_distribution,
-            vectorized=dispatches_expected >= _VECTORIZED_REFILL_CROSSOVER)
+            stream_seeds, transmission_rates,
+            first.transmission_distribution, vectorized=stream_flags)
         service_table = VariateTable(
             [spawn_seed(seed, f"service-{g}")
-             for seed in seed_list for g in range(partitions)],
-            workload.service_rate, workload.service_distribution,
-            vectorized=dispatches_expected >= _VECTORIZED_REFILL_CROSSOVER)
+             for seed in self._row_seeds for g in range(partitions)],
+            service_rates, first.service_distribution,
+            vectorized=stream_flags)
         return arrival_table, transmission_table, service_table
 
     # -- queue ring buffers -----------------------------------------------
@@ -342,7 +626,7 @@ class BatchedReplicationEngine:
                  + np.arange(capacity, dtype=np.int64)) % capacity
         linear = np.take_along_axis(self._queue_created, order, axis=2)
         grown = np.zeros(
-            (self._replications, self._processors, capacity * 2),
+            (self._rows, self._processors, capacity * 2),
             dtype=np.float64)
         grown[:, :, :capacity] = linear
         self._queue_created = grown
@@ -350,23 +634,49 @@ class BatchedReplicationEngine:
         self._queue_start.fill(0)
 
     # -- the lockstep loop -------------------------------------------------
-    def run(self, horizon: float, warmup: float = 0.0) -> BatchedReplicationResult:
-        """Advance every replication to ``horizon``; discard ``warmup``."""
+    def run(self, horizon: float, warmup: float = 0.0) -> MegaBatchResult:
+        """Advance every row to ``horizon``; discard ``warmup``."""
+        self._advance(horizon, warmup)
+        mean_delays: List[Tuple[float, ...]] = []
+        delay_counts: List[Tuple[int, ...]] = []
+        completed: List[Tuple[int, ...]] = []
+        start = 0
+        for group in self.seed_groups:
+            end = start + len(group)
+            mean_delays.append(tuple(
+                float(self._delay_mean[k]) if self._delay_count[k]
+                else math.nan
+                for k in range(start, end)))
+            delay_counts.append(tuple(
+                int(count) for count in self._delay_count[start:end]))
+            completed.append(tuple(
+                int(count) for count in self._completed[start:end]))
+            start = end
+        return MegaBatchResult(
+            seed_groups=self.seed_groups,
+            mean_delays=tuple(mean_delays),
+            delay_counts=tuple(delay_counts),
+            completed=tuple(completed),
+            simulated_time=float(horizon),
+            measurement_start=float(warmup))
+
+    def _advance(self, horizon: float, warmup: float) -> None:
         if self._started:
             raise ConfigurationError(
-                "BatchedReplicationEngine.run may only be called once")
+                f"{type(self).__name__}.run may only be called once")
         if warmup < 0 or horizon <= warmup:
             raise ConfigurationError(
                 f"need 0 <= warmup < horizon, got warmup={warmup} "
                 f"horizon={horizon}")
         self._started = True
-        replications = self._replications
+        rows_total = self._rows
         processors = self._processors
         partitions = self._partitions
         per_partition = self._per_partition
         ports = self._ports
         resources = self._resources
         calendar = self._calendar
+        masks = self._alive_masks
         single = partitions == 1
         arrival_table, transmission_table, service_table = (
             self._build_tables(horizon))
@@ -375,26 +685,26 @@ class BatchedReplicationEngine:
         # Initial arrival per processor (draw order across streams is
         # immaterial: streams are independent per name).
         first = arrival_table.draw(
-            np.arange(replications * processors, dtype=np.int64))
-        self._next_arrival[:, :] = first.reshape(replications, processors)
+            np.arange(rows_total * processors, dtype=np.int64))
+        self._next_arrival[:, :] = first.reshape(rows_total, processors)
 
-        times = np.empty(replications, dtype=np.float64)
-        request = np.zeros((replications, processors), dtype=np.uint8)
+        times = np.empty(rows_total, dtype=np.float64)
+        request = np.zeros((rows_total, processors), dtype=np.uint8)
         while True:
             calendar.min(axis=1, out=times)
             live = times <= horizon
             reps = np.nonzero(live)[0]
             if reps.size == 0:
                 break
-            if reps.size == replications:
+            if reps.size == rows_total:
                 now = times
                 slots = calendar.argmin(axis=1)
             else:
                 now = times[live]
                 slots = calendar[reps].argmin(axis=1)
             request.fill(0)
-            # Partitions each live replication must re-offer after its
-            # event (an arrival only redispatches its own processor).
+            # Partitions each live row must re-offer after its event (an
+            # arrival only redispatches its own processor).
             broadcast = (None if single
                          else np.full(reps.shape[0], -1, dtype=np.int64))
 
@@ -468,8 +778,13 @@ class BatchedReplicationEngine:
                     continue
                 acceptable = ((self._bus_busy == 0)
                               & (self._busy_resources < resources))
-                grant_reps, grant_rows, grant_cols = match_pairs_batch(
-                    request, acceptable)
+                if masks is None:
+                    grant_reps, grant_rows, grant_cols = match_pairs_batch(
+                        request, acceptable)
+                else:
+                    grant_reps, grant_rows, grant_cols = (
+                        masked_match_pairs_batch(request, acceptable,
+                                                 masks[0]))
                 if grant_reps.size:
                     self._apply_grants(0, grant_reps, grant_rows, grant_cols,
                                        times, warmup)
@@ -494,34 +809,29 @@ class BatchedReplicationEngine:
                                            (g + 1) * per_partition]
                 if not segment_requests.any():
                     continue
-                grant_reps, grant_rows, grant_cols = match_pairs_batch(
-                    segment_requests,
-                    acceptable[:, g * ports:(g + 1) * ports])
+                segment_acceptable = acceptable[:, g * ports:(g + 1) * ports]
+                if masks is None:
+                    grant_reps, grant_rows, grant_cols = match_pairs_batch(
+                        segment_requests, segment_acceptable)
+                else:
+                    grant_reps, grant_rows, grant_cols = (
+                        masked_match_pairs_batch(segment_requests,
+                                                 segment_acceptable,
+                                                 masks[g]))
                 if grant_reps.size:
                     self._apply_grants(g, grant_reps, grant_rows, grant_cols,
                                        times, warmup)
 
-        mean_delays = tuple(
-            float(self._delay_mean[k]) if self._delay_count[k] else math.nan
-            for k in range(replications))
-        return BatchedReplicationResult(
-            seeds=self.seeds,
-            mean_delays=mean_delays,
-            delay_counts=tuple(int(c) for c in self._delay_count),
-            completed=tuple(int(c) for c in self._completed),
-            simulated_time=float(horizon),
-            measurement_start=float(warmup))
-
     def _apply_grants(self, partition: int, grant_reps: _IntArray,
                       grant_rows: _IntArray, grant_cols: _IntArray,
                       times: _FloatArray, warmup: float) -> None:
-        """Dispatch the matched (replication, row, column) triples.
+        """Dispatch the matched (row, processor, column) triples.
 
-        ``match_pairs_batch`` returns triples replication-major and
-        row-ascending — the scalar broadcast's dispatch order — so when
-        every replication appears once the queue pops, Welford updates and
-        transmission draws all vectorize; a replication granted several
-        connections in one broadcast replays them sequentially instead.
+        Both matchers return triples row-major and processor-ascending —
+        the scalar broadcast's dispatch order — so when every batch row
+        appears once the queue pops, Welford updates and transmission
+        draws all vectorize; a row granted several connections in one
+        broadcast replays them sequentially instead.
         """
         if partition:
             rows = partition * self._per_partition + grant_rows
@@ -571,6 +881,47 @@ class BatchedReplicationEngine:
             self._bus_busy[k, int(port_index[index])] = 1
 
 
+class BatchedReplicationEngine(MegaBatchEngine):
+    """``R`` replications of one ``(config, workload)`` point in lockstep.
+
+    The one-point specialization of :class:`MegaBatchEngine` — a single
+    seed group, a single workload, and the flat
+    :class:`BatchedReplicationResult` the replication tooling consumes.
+
+    >>> from repro import SystemConfig, Workload
+    >>> from repro.sim.batched import BatchedReplicationEngine
+    >>> engine = BatchedReplicationEngine(
+    ...     SystemConfig.parse("16/1x16x8 XBAR/2"),
+    ...     Workload(0.05, 1.0, 0.1), seeds=range(100, 108))
+    >>> result = engine.run(horizon=2000.0, warmup=200.0)
+
+    May be run once per instance, like the scalar system.
+    """
+
+    def __init__(self, config: Union[SystemConfig, str], workload: Workload,
+                 seeds: Sequence[int], arbitration: str = "priority",
+                 crossover: Optional[int] = None):
+        seed_list = [int(seed) for seed in seeds]
+        if not seed_list:
+            raise ConfigurationError("batched engine needs at least one seed")
+        super().__init__(config, [workload], [seed_list],
+                         arbitration=arbitration, crossover=crossover)
+        self.workload = workload
+        self.seeds: Tuple[int, ...] = tuple(seed_list)
+
+    def run(self, horizon: float,  # type: ignore[override]
+            warmup: float = 0.0) -> BatchedReplicationResult:
+        """Advance every replication to ``horizon``; discard ``warmup``."""
+        result = super().run(horizon=horizon, warmup=warmup)
+        return BatchedReplicationResult(
+            seeds=self.seeds,
+            mean_delays=result.mean_delays[0],
+            delay_counts=result.delay_counts[0],
+            completed=result.completed[0],
+            simulated_time=result.simulated_time,
+            measurement_start=result.measurement_start)
+
+
 def batched_replication_delays(config: Union[SystemConfig, str],
                                workload: Workload, horizon: float,
                                warmup: float, seeds: Sequence[int],
@@ -586,13 +937,27 @@ def batched_replication_delays(config: Union[SystemConfig, str],
     return list(engine.run(horizon=horizon, warmup=warmup).mean_delays)
 
 
+def megabatch_figure_delays(config: Union[SystemConfig, str],
+                            workloads: Sequence[Workload], horizon: float,
+                            warmup: float,
+                            seed_groups: Sequence[Sequence[int]],
+                            arbitration: str = "priority"
+                            ) -> List[List[float]]:
+    """Front door: a whole figure curve as one 2-D mega-batch.
+
+    ``megabatch_figure_delays(c, ws, h, u, groups)[i][k]`` equals
+    ``batched_replication_delays(c, ws[i], h, u, groups[i])[k]`` — and
+    therefore the scalar engine with seed ``groups[i][k]`` — to the last
+    bit, while advancing every point of the curve in the same lockstep
+    arrays.
+    """
+    engine = MegaBatchEngine(config, workloads, seed_groups,
+                             arbitration=arbitration)
+    result = engine.run(horizon=horizon, warmup=warmup)
+    return [list(delays) for delays in result.mean_delays]
+
+
 def supports_batched(config: Union[SystemConfig, str], workload: Workload,
                      arbitration: str = "priority") -> bool:
-    """Whether the batched engine can run this model (see module scope)."""
-    if isinstance(config, str):
-        config = SystemConfig.parse(config)
-    try:
-        _require_batchable(config, workload, arbitration)
-    except ConfigurationError:
-        return False
-    return True
+    """Whether the batched engines can run this model (see module scope)."""
+    return batched_unsupported_reason(config, workload, arbitration) is None

@@ -22,6 +22,7 @@ from repro.networks import (
     DistributedCrossbar,
     cell_logic,
     cell_logic_batch,
+    masked_match_pairs_batch,
     match_pairs_batch,
     match_requests_batch,
     priority_match,
@@ -33,13 +34,24 @@ class TestCellLogicBatch:
     @pytest.mark.parametrize("x", [0, 1])
     @pytest.mark.parametrize("y", [0, 1])
     @pytest.mark.parametrize("latch", [0, 1])
-    def test_all_sixteen_combinations_match_scalar(self, mode, x, y, latch):
-        """Exhaustive: batched truth table == Table I, combo by combo."""
-        expected = cell_logic(mode, x, y, bool(latch))
+    @pytest.mark.parametrize("alive", [0, 1])
+    def test_all_thirtytwo_combinations_match_scalar(self, mode, x, y,
+                                                     latch, alive):
+        """Exhaustive: batched truth table == Table I (plus the dead-cell
+        transparency rows), combo by combo."""
+        expected = cell_logic(mode, x, y, bool(latch), alive=bool(alive))
         arrays = cell_logic_batch(
             mode, np.array([x], dtype=np.uint8), np.array([y], dtype=np.uint8),
-            np.array([latch], dtype=np.uint8))
+            np.array([latch], dtype=np.uint8),
+            alive=np.array([alive], dtype=np.uint8))
         assert tuple(int(value[0]) for value in arrays) == expected
+        if alive:
+            # alive=None must keep the original (unmasked) closed forms.
+            unmasked = cell_logic_batch(
+                mode, np.array([x], dtype=np.uint8),
+                np.array([y], dtype=np.uint8),
+                np.array([latch], dtype=np.uint8))
+            assert tuple(int(v[0]) for v in unmasked) == expected
 
     def test_vectorized_over_all_combinations_at_once(self):
         """One call over the full 8-combination plane, both modes."""
@@ -194,3 +206,108 @@ class TestBatchedMatching:
         assert reps.tolist() == [0, 0, 1]
         assert rows.tolist() == [1, 2, 0]
         assert cols.tolist() == [0, 1, 0]
+
+
+class TestMaskedMatching:
+    """The faulted-fabric kernel: dead cells masked into the gate planes."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_masked_wavefront_matches_faulted_distributed_crossbar(
+            self, data):
+        """Random dead-cell sets: masked grants == scalar faulted switch."""
+        processors = data.draw(st.integers(1, 6), label="p")
+        buses = data.draw(st.integers(1, 6), label="m")
+        replications = data.draw(st.integers(1, 5), label="R")
+        alive = np.ones((processors, buses), dtype=np.uint8)
+        for row in range(processors):
+            for column in range(buses):
+                if data.draw(st.booleans(), label=f"dead{row}-{column}"):
+                    alive[row, column] = 0
+        requesting = np.array(
+            [[data.draw(st.integers(0, 1)) for _ in range(processors)]
+             for _ in range(replications)], dtype=np.uint8)
+        available = np.array(
+            [[data.draw(st.integers(0, 1)) for _ in range(buses)]
+             for _ in range(replications)], dtype=np.uint8)
+        reps, rows, cols = masked_match_pairs_batch(requesting, available,
+                                                    alive)
+        by_replication = {}
+        for k, row, column in zip(reps.tolist(), rows.tolist(),
+                                  cols.tolist()):
+            by_replication.setdefault(k, {})[row] = column
+        for k in range(replications):
+            switch = DistributedCrossbar(processors, buses)
+            for row in range(processors):
+                for column in range(buses):
+                    if not alive[row, column]:
+                        switch.fail_cell(row, column)
+            scalar = switch.request_cycle(
+                [int(r) for r in np.nonzero(requesting[k])[0]],
+                [int(c) for c in np.nonzero(available[k])[0]])
+            assert by_replication.get(k, {}) == scalar.granted
+
+    def test_all_alive_mask_equals_unmasked_matcher(self):
+        requesting = np.array([[1, 1, 0, 1], [0, 1, 1, 1]], dtype=np.uint8)
+        available = np.array([[1, 0, 1], [1, 1, 1]], dtype=np.uint8)
+        alive = np.ones((4, 3), dtype=np.uint8)
+        masked = masked_match_pairs_batch(requesting, available, alive)
+        plain = match_pairs_batch(requesting, available)
+        for got, expected in zip(masked, plain):
+            assert got.tolist() == expected.tolist()
+
+    def test_masked_pairs_replication_major_row_ascending(self):
+        """The dispatch-order contract the lockstep engine relies on."""
+        requesting = np.ones((2, 3), dtype=np.uint8)
+        available = np.ones((2, 3), dtype=np.uint8)
+        alive = np.array([[0, 1, 1], [1, 0, 1], [1, 1, 0]], dtype=np.uint8)
+        reps, rows, cols = masked_match_pairs_batch(requesting, available,
+                                                    alive)
+        order = list(zip(reps.tolist(), rows.tolist()))
+        assert order == sorted(order)
+        # Row 0 skips its dead (0,0) cell and takes column 1; row 1 takes
+        # the still-free column 0; row 2's only remaining column is its
+        # dead (2, 2) cell, so it stays unmatched.
+        assert reps.tolist() == [0, 0, 1, 1]
+        assert rows.tolist() == [0, 1, 0, 1]
+        assert cols.tolist() == [1, 0, 1, 0]
+
+    def test_mask_shape_validated(self):
+        with pytest.raises(SchedulingError):
+            masked_match_pairs_batch(np.ones((1, 2), dtype=np.uint8),
+                                     np.ones((1, 2), dtype=np.uint8),
+                                     np.ones((3, 2), dtype=np.uint8))
+
+    def test_batched_crossbar_fail_and_repair_cell(self):
+        batched = BatchedCrossbar(2, 2, 2)
+        batched.fail_cell(0, 0)
+        assert batched.alive_mask[0, 0] == 0
+        result = batched.request_cycle(np.ones((2, 2), dtype=np.uint8),
+                                       np.ones((2, 2), dtype=np.uint8))
+        # Row 0's dead (0,0) is transparent: row 0 latches column 1, so
+        # row 1 (whose cells are healthy) falls through to column 0.
+        for k in range(2):
+            granted = {(int(r), int(c))
+                       for r, c in zip(*np.nonzero(result.granted[k]))}
+            assert granted == {(0, 1), (1, 0)}
+        with pytest.raises(SchedulingError):
+            batched.fail_cell(0, 1)  # latched in both replications
+        batched.reset_cycle(np.ones((2, 2), dtype=np.uint8))
+        batched.fail_cell(0, 1)
+        batched.repair_cell(0, 0)
+        assert batched.alive_mask[0, 0] == 1
+        with pytest.raises(SchedulingError):
+            batched.fail_cell(5, 0)
+
+    def test_scalar_crossbar_fail_cell_guards_latched_cells(self):
+        switch = DistributedCrossbar(2, 2)
+        switch.request_cycle([0], [0])
+        with pytest.raises(SchedulingError):
+            switch.fail_cell(0, 0)
+        switch.reset_cycle([0])
+        switch.fail_cell(0, 0)
+        assert not switch.alive(0, 0)
+        outcome = switch.request_cycle([0], [0, 1])
+        assert outcome.granted == {0: 1}
+        switch.repair_cell(0, 0)
+        assert switch.alive(0, 0)

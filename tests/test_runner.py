@@ -296,6 +296,41 @@ class TestFigureParity:
         with pytest.raises(ConfigurationError):
             figure_work_units("fig7", engine="warp")
 
+    def test_megabatch_units_never_cross_other_engines(self):
+        """Megabatch curve units share no digest with scalar or batched
+        point units (a megabatch cache entry is a whole curve)."""
+        for exp_id in ("fig7", "fig8"):
+            digests = {}
+            for engine in ("scalar", "batched", "megabatch"):
+                _spec, _grid, units = figure_work_units(
+                    exp_id, intensities=[0.3, 0.6], engine=engine)
+                digests[engine] = {u.config_digest for u in units}
+            assert not digests["megabatch"] & digests["scalar"]
+            assert not digests["megabatch"] & digests["batched"]
+        # fig7's curves are all healthy XBAR: one curve-level unit each.
+        spec, _grid, units = figure_work_units("fig7", intensities=[0.3, 0.6],
+                                               engine="megabatch")
+        assert [u.evaluator_id for u in units] == (
+            ["megabatch-figure"] * len(spec.curves))
+
+    def test_megabatch_evaluator_matches_per_point_units(self):
+        """The megabatch-figure unit value == its sweep-point units."""
+        from repro.runner.evaluators import get_evaluator
+
+        intensities = [0.3, 0.6]
+        master_seed = 9
+        params = {"config": "16/1x16x8 XBAR/2", "mu_ratio": 0.1,
+                  "intensities": intensities, "horizon": 1_000.0}
+        curve = get_evaluator("megabatch-figure")(master_seed, params)
+        sweep = get_evaluator("sweep-point")
+        for intensity, point in zip(intensities, curve):
+            expected = sweep(
+                spawn_seed(master_seed, params["config"], intensity),
+                {"config": params["config"], "mu_ratio": 0.1,
+                 "intensity": intensity, "horizon": 1_000.0,
+                 "engine": "batched"})
+            assert point == expected
+
     def test_engine_flows_from_params_to_simulated_point(self):
         """A batched-tagged unit runs the batched engine (distinct value)."""
         from repro.runner.evaluators import get_evaluator

@@ -16,10 +16,14 @@ import pytest
 from repro.config import SystemConfig
 from repro.core.system import simulate
 from repro.errors import ConfigurationError
+from repro.faults.models import CellFault, FaultConfig, FaultSchedule
 from repro.sim import (
     BatchedReplicationEngine,
+    MegaBatchEngine,
     VariateTable,
     batched_replication_delays,
+    batched_unsupported_reason,
+    megabatch_figure_delays,
     spawn_seed,
     supports_batched,
     uniform_block_source,
@@ -89,13 +93,144 @@ class TestLockstepBitIdentity:
         assert not supports_batched("16/16x1x1 SBUS/inf", workload)
         assert not supports_batched("16/1x16x8 XBAR/2", workload,
                                     arbitration="random")
+        # Deterministic *service* is in scope (ties stay measure-zero);
+        # deterministic transmission or interarrival lattices timestamps
+        # and stays gated.
         deterministic = Workload(0.05, 1.0, 0.1,
                                  service_distribution="deterministic")
-        assert not supports_batched("16/1x16x8 XBAR/2", deterministic)
+        assert supports_batched("16/1x16x8 XBAR/2", deterministic)
+        lattice = Workload(0.05, 1.0, 0.1,
+                           transmission_distribution="deterministic")
+        assert not supports_batched("16/1x16x8 XBAR/2", lattice)
         with pytest.raises(ConfigurationError):
             BatchedReplicationEngine("16/1x16x16 OMEGA/2", workload, seeds=[1])
         with pytest.raises(ConfigurationError):
             BatchedReplicationEngine("16/1x16x8 XBAR/2", workload, seeds=[])
+
+
+def _assert_same_delay(left, right, context=""):
+    if math.isnan(left):
+        assert math.isnan(right), context
+    else:
+        assert left == right, context
+
+
+class TestMegaBatch:
+    def test_randomized_grid_matches_per_point_and_scalar(self):
+        """Mega-batch == per-point batched == scalar, bit for bit.
+
+        Each case becomes a 3-point "curve" (three loads of the same
+        configuration and distributions) with 3 replications per point —
+        the full (point, replication) grid is checked against both the
+        per-point batched engine and the scalar engine.
+        """
+        cases = _random_cases(4, master_seed=11)
+        for index, (config, workload) in enumerate(cases):
+            rhos = [workload.arrival_rate * scale
+                    for scale in (0.5, 1.0, 1.5)]
+            workloads = [Workload(rho, 1.0, 0.1,
+                                  service_distribution=
+                                  workload.service_distribution)
+                         for rho in rhos]
+            groups = [[5000 + index * 100 + point * 10 + k
+                       for k in range(3)]
+                      for point in range(len(workloads))]
+            horizon, warmup = 400.0, 50.0
+            mega = megabatch_figure_delays(config, workloads, horizon=horizon,
+                                           warmup=warmup, seed_groups=groups)
+            for point, point_workload in enumerate(workloads):
+                per_point = batched_replication_delays(
+                    config, point_workload, horizon=horizon, warmup=warmup,
+                    seeds=groups[point])
+                for k, seed in enumerate(groups[point]):
+                    _assert_same_delay(per_point[k], mega[point][k],
+                                       f"case {index} point {point} rep {k}")
+                    scalar = simulate(config, point_workload, horizon=horizon,
+                                      warmup=warmup,
+                                      seed=seed).mean_queueing_delay
+                    _assert_same_delay(scalar, mega[point][k],
+                                       f"case {index} point {point} rep {k}")
+
+    def test_deterministic_service_matches_scalar(self):
+        """The widened gate: deterministic service runs in lockstep."""
+        config = SystemConfig.parse("8/2x4x4 XBAR/2")
+        workload = Workload(0.06, 1.0, 0.1,
+                            service_distribution="deterministic")
+        assert supports_batched(config, workload)
+        seeds = [901, 902, 903, 904]
+        batched = batched_replication_delays(config, workload, horizon=500.0,
+                                             warmup=50.0, seeds=seeds)
+        for k, seed in enumerate(seeds):
+            scalar = simulate(config, workload, horizon=500.0, warmup=50.0,
+                              seed=seed).mean_queueing_delay
+            _assert_same_delay(scalar, batched[k], f"replication {k}")
+
+    def test_static_cell_faults_match_scalar(self):
+        """The widened gate: a statically degraded fabric runs masked."""
+        schedule = FaultSchedule.of(
+            (0.0, "cell", (0, (0, 0)), "down"),
+            (0.0, "cell", (0, (1, 2)), "down"),
+            (0.0, "cell", (1, (3, 1)), "down"))
+        config = SystemConfig.parse("8/2x4x4 XBAR/2").with_faults(
+            FaultConfig(schedule=schedule))
+        workload = Workload(0.06, 1.0, 0.1)
+        assert batched_unsupported_reason(config, workload) is None
+        seeds = [911, 912, 913]
+        batched = batched_replication_delays(config, workload, horizon=500.0,
+                                             warmup=50.0, seeds=seeds)
+        healthy = batched_replication_delays(
+            config.with_faults(None), workload, horizon=500.0, warmup=50.0,
+            seeds=seeds)
+        assert batched != healthy  # the dead cells must actually bite
+        for k, seed in enumerate(seeds):
+            scalar = simulate(config, workload, horizon=500.0, warmup=50.0,
+                              seed=seed).mean_queueing_delay
+            _assert_same_delay(scalar, batched[k], f"replication {k}")
+
+    def test_unsupported_reason_names_the_gate(self):
+        workload = Workload(0.05, 1.0, 0.1)
+        assert batched_unsupported_reason("16/1x16x8 XBAR/2", workload) is None
+        assert "OMEGA" in batched_unsupported_reason("16/1x16x16 OMEGA/2",
+                                                     workload)
+        assert "arbitration" in batched_unsupported_reason(
+            "16/1x16x8 XBAR/2", workload, arbitration="random")
+        assert "SBUS" in batched_unsupported_reason("16/16x1x1 SBUS/inf",
+                                                    workload)
+        lattice = Workload(0.05, 1.0, 0.1,
+                           interarrival_distribution="deterministic")
+        assert "interarrival" in batched_unsupported_reason(
+            "16/1x16x8 XBAR/2", lattice)
+        stochastic = SystemConfig.parse("16/1x16x8 XBAR/2").with_faults(
+            FaultConfig(models=(CellFault(mttf=100.0, mttr=10.0),)))
+        assert "stochastic" in batched_unsupported_reason(stochastic,
+                                                          workload)
+        dynamic = SystemConfig.parse("16/1x16x8 XBAR/2").with_faults(
+            FaultConfig(schedule=FaultSchedule.of(
+                (5.0, "cell", (0, (0, 0)), "down"))))
+        assert "dynamic" in batched_unsupported_reason(dynamic, workload)
+
+    def test_point_of_row_maps_rows_to_points(self):
+        config = SystemConfig.parse("4/1x4x2 XBAR/2")
+        workloads = [Workload(0.03, 1.0, 0.1), Workload(0.05, 1.0, 0.1)]
+        engine = MegaBatchEngine(config, workloads,
+                                 seed_groups=[[1, 2, 3], [4, 5]])
+        assert engine.point_of_row.tolist() == [0, 0, 0, 1, 1]
+        assert engine.seed_groups == ((1, 2, 3), (4, 5))
+
+    def test_megabatch_validation(self):
+        config = SystemConfig.parse("4/1x4x2 XBAR/2")
+        workloads = [Workload(0.03, 1.0, 0.1), Workload(0.05, 1.0, 0.1)]
+        with pytest.raises(ConfigurationError):
+            MegaBatchEngine(config, [], seed_groups=[])
+        with pytest.raises(ConfigurationError):
+            MegaBatchEngine(config, workloads, seed_groups=[[1]])
+        with pytest.raises(ConfigurationError):
+            MegaBatchEngine(config, workloads, seed_groups=[[1], []])
+        mixed = [Workload(0.03, 1.0, 0.1),
+                 Workload(0.05, 1.0, 0.1,
+                          service_distribution="deterministic")]
+        with pytest.raises(ConfigurationError):
+            MegaBatchEngine(config, mixed, seed_groups=[[1], [2]])
 
 
 class TestVariateStreams:
@@ -124,9 +259,72 @@ class TestVariateStreams:
         with pytest.raises(ConfigurationError):
             VariateTable([1], rate=0.0, distribution="exponential")
         with pytest.raises(ConfigurationError):
-            VariateTable([1], rate=1.0, distribution="deterministic")
+            VariateTable([1], rate=1.0, distribution="weibull")
         with pytest.raises(ConfigurationError):
             VariateTable([1], rate=1.0, distribution="exponential", block=3)
+        with pytest.raises(ConfigurationError):
+            VariateTable([1, 2], rate=[1.0], distribution="exponential")
+
+    def test_per_row_rates_match_scalar_streams(self):
+        """The mega-batch shape: one table, a different rate per row."""
+        seeds = [spawn_seed(3, "arrivals-0"), spawn_seed(3, "arrivals-1")]
+        rates = [0.25, 0.8]
+        table = VariateTable(seeds, rate=rates, distribution="exponential",
+                             block=16)
+        for row, (seed, rate) in enumerate(zip(seeds, rates)):
+            stream = RngStream(seed)
+            for _ in range(20):
+                expected = sample_time(stream, rate, "exponential")
+                assert table.draw_one(row) == expected
+
+    def test_deterministic_rows_draw_no_uniforms(self):
+        table = VariateTable([7], rate=0.5, distribution="deterministic",
+                             block=8)
+        for _ in range(20):
+            assert table.draw_one(0) == 2.0
+        # sample_time's contract: deterministic draws touch no randomness,
+        # so the equivalent scalar stream stays untouched too.
+        stream = RngStream(7)
+        before = stream.random()
+        replay = RngStream(7)
+        assert sample_time(replay, 0.5, "deterministic") == 2.0
+        assert replay.random() == before
+
+
+class TestVariateCrossover:
+    def test_override_resolution(self, monkeypatch):
+        from repro.sim.batched import (_VECTORIZED_REFILL_CROSSOVER,
+                                       variate_refill_crossover)
+
+        monkeypatch.delenv("REPRO_VARIATE_BLOCK", raising=False)
+        assert variate_refill_crossover() == _VECTORIZED_REFILL_CROSSOVER
+        monkeypatch.setenv("REPRO_VARIATE_BLOCK", "128")
+        assert variate_refill_crossover() == 128
+        assert variate_refill_crossover(override=7) == 7
+        monkeypatch.setenv("REPRO_VARIATE_BLOCK", "soon")
+        with pytest.raises(ConfigurationError):
+            variate_refill_crossover()
+        with pytest.raises(ConfigurationError):
+            variate_refill_crossover(override=-1)
+
+    def test_crossover_choice_is_bit_identical(self, monkeypatch):
+        """Both refill backends emit the same variates; the knob cannot
+        change results, only where generator construction is paid."""
+        config = SystemConfig.parse("4/1x4x2 XBAR/2")
+        workload = Workload(0.05, 1.0, 0.1)
+        seeds = [21, 22]
+        monkeypatch.delenv("REPRO_VARIATE_BLOCK", raising=False)
+        default = BatchedReplicationEngine(
+            config, workload, seeds).run(400.0, 40.0)
+        monkeypatch.setenv("REPRO_VARIATE_BLOCK", "0")
+        forced_numpy = BatchedReplicationEngine(
+            config, workload, seeds).run(400.0, 40.0)
+        monkeypatch.delenv("REPRO_VARIATE_BLOCK")
+        forced_scalar = BatchedReplicationEngine(
+            config, workload, seeds, crossover=10 ** 9).run(400.0, 40.0)
+        assert all(not math.isnan(d) for d in default.mean_delays)
+        assert default.mean_delays == forced_numpy.mean_delays
+        assert default.mean_delays == forced_scalar.mean_delays
 
 
 class TestSweepPointEngine:
