@@ -30,7 +30,11 @@ BATCHED_POINT_REPLICATIONS = 16
 #: The simulation engines a sweep point can run on.  ``megabatch`` is the
 #: 2-D generalization of ``batched``: a whole curve's (point, replication)
 #: grid advances as one lockstep batch, with identical per-point results.
-ENGINES = ("scalar", "batched", "megabatch")
+#: ``auto`` routes each curve to the fastest supported engine — megabatch
+#: where the whole curve passes the batchability gate, per-point batched
+#: where a point does, the scalar loop otherwise — so callers never pick
+#: an engine by hand (gated curves surface one fallback note in the CLI).
+ENGINES = ("scalar", "batched", "megabatch", "auto")
 
 
 @dataclass(frozen=True)
@@ -140,7 +144,7 @@ def simulated_series(config: Union[SystemConfig, str], mu_ratio: float,
     """
     if isinstance(config, str):
         config = SystemConfig.parse(config)
-    if engine == "megabatch":
+    if engine in ("megabatch", "auto"):
         grid = list(intensities)
         mega = megabatch_sweep_points(
             config, mu_ratio, grid, horizon=horizon,
@@ -301,13 +305,17 @@ def simulated_point(config: Union[SystemConfig, str], mu_ratio: float,
     computation to workers, and a parallel sweep must produce the same
     point, bit for bit, as the serial loop in :func:`simulated_series`.
 
-    ``engine="batched"`` computes the point with the lockstep replication
-    engine of :mod:`repro.sim.batched` where the model is in its scope
-    (healthy XBAR under priority arbitration), splitting the horizon over
-    :data:`BATCHED_POINT_REPLICATIONS` common-budget replications; models
-    outside that scope (Omega fabrics, faults, other arbiters) fall back
-    to the scalar engine.  Engine choice is cache-digest material — see
-    :mod:`repro.runner.workunit`.
+    ``engine="batched"`` (and ``"megabatch"`` / ``"auto"``, which are the
+    same thing at single-point granularity) computes the point with the
+    lockstep replication engine of :mod:`repro.sim.batched` where the
+    model is in its scope — any fabric in its per-fabric capability table
+    under priority arbitration with finite resources (see
+    :func:`repro.sim.batched.batched_unsupported_reason`) — splitting the
+    horizon over :data:`BATCHED_POINT_REPLICATIONS` common-budget
+    replications; models outside that scope (random/fifo arbiters,
+    infinite resource pools, dynamic faults, discrete holding times) fall
+    back to the scalar engine.  Engine choice is cache-digest material —
+    see :mod:`repro.runner.workunit`.
     """
     if isinstance(config, str):
         config = SystemConfig.parse(config)
@@ -318,7 +326,7 @@ def simulated_point(config: Union[SystemConfig, str], mu_ratio: float,
     if intensity >= limit:
         return SweepPoint(intensity=intensity, normalized_delay=None)
     workload = workload_at(intensity, mu_ratio, processors=config.processors)
-    if engine in ("batched", "megabatch"):
+    if engine in ("batched", "megabatch", "auto"):
         # A single point's mega-batch IS the batched path: one seed group.
         from repro.sim.batched import supports_batched
 

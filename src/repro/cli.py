@@ -61,12 +61,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes (default: REPRO_JOBS or 1)")
     run.add_argument("--seed", type=int, default=1,
                      help="master seed for per-point replications")
-    run.add_argument("--engine", default="scalar",
-                     choices=["scalar", "batched", "megabatch"],
-                     help="simulation engine for simulated points: the "
-                          "scalar event loop, lockstep batched "
-                          "replications, or whole curves as one 2-D "
-                          "mega-batch where supported (engine choice is "
+    run.add_argument("--engine", default="auto",
+                     choices=["auto", "scalar", "batched", "megabatch"],
+                     help="simulation engine for simulated points: 'auto' "
+                          "(the default) routes each curve to the fastest "
+                          "supported engine — whole curves as one 2-D "
+                          "mega-batch, per-point lockstep batched "
+                          "replications, then the scalar event loop — and "
+                          "prints one fallback note per gated curve; the "
+                          "named engines force one path (engine choice is "
                           "cache-digest material)")
     run.add_argument("--cache-dir", default=None,
                      help="result cache directory "
@@ -236,7 +239,7 @@ def _command_run(args) -> int:
         print("error: --resume needs the cache; it cannot be combined "
               "with --no-cache", file=sys.stderr)
         return 2
-    if args.engine in ("batched", "megabatch"):
+    if args.engine in ("auto", "batched", "megabatch"):
         # One line per curve that will fall back to the scalar engine,
         # naming the gate property that blocks it.
         from repro.analysis.sweep import megabatch_curve_reason

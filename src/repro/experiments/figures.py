@@ -121,9 +121,10 @@ def figure_work_units(exp_id: str, quality: str = "fast",
     reference solves — the default, independent of execution order — or
     "sweep" for the parametric fast path).  The tag is digest material, so
     the result cache never serves one backend's points for the other.
-    Likewise ``engine`` ("scalar", "batched", or "megabatch") selects the
-    simulation engine of every simulated point and rides in the unit
-    params, so scalar and batched results are digest-separated too.
+    Likewise ``engine`` ("scalar", "batched", "megabatch", or "auto")
+    selects the simulation engine of every simulated point and rides in
+    the unit params, so scalar and batched results are digest-separated
+    too.
 
     ``engine="megabatch"`` collapses each simulated curve that passes the
     batchability gate into ONE ``megabatch-figure`` unit carrying the
@@ -133,6 +134,12 @@ def figure_work_units(exp_id: str, quality: str = "fast",
     to what per-point ``engine="batched"`` units produce.  Gate-failing
     curves fall back to per-point units with ``engine="batched"`` (whose
     digests are shared with a plain ``--engine batched`` run).
+    ``engine="auto"`` is the same routing — megabatch where the curve
+    passes the gate, batched per-point units otherwise — producing units
+    digest-identical to a ``megabatch`` run, so the two share cache
+    entries.  SBUS curves are exact Markov-chain units under every
+    engine: the analytic solver is both the reference and the fastest
+    path, so no simulation engine ever touches them.
     """
     from repro.analysis.sweep import ENGINES, megabatch_curve_reason
     from repro.runner import WorkUnit
@@ -161,7 +168,7 @@ def figure_work_units(exp_id: str, quality: str = "fast",
                     "intensity": intensity,
                 }, backend=solver))
             continue
-        if (engine == "megabatch" and grid
+        if (engine in ("megabatch", "auto") and grid
                 and megabatch_curve_reason(config, spec.mu_ratio) is None):
             units.append(WorkUnit("megabatch-figure", seed, {
                 "config": triplet,
@@ -170,7 +177,8 @@ def figure_work_units(exp_id: str, quality: str = "fast",
                 "horizon": horizon,
             }))
             continue
-        point_engine = "batched" if engine == "megabatch" else engine
+        point_engine = ("batched" if engine in ("megabatch", "auto")
+                        else engine)
         for intensity in grid:
             units.append(WorkUnit(
                 "sweep-point",

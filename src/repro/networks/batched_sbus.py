@@ -1,0 +1,53 @@
+"""Batched single-bus grant: ``R`` replications of the shared bus at once.
+
+The scalar path to an SBUS status broadcast is a Python loop: waiting
+processors retry in ascending index order, the first one finds the bus
+free (``can_accept``) and :class:`~repro.networks.base.SingleBusFabric`
+connects it to port 0, the grant marks the bus busy, and every later
+processor is refused.  That whole pass has a closed form — *the lowest
+requesting row wins if and only if the single port can accept* — which is
+also exactly what the crossbar rank pairing of
+:func:`~repro.networks.batched_crossbar.match_pairs_batch` degenerates to
+at ``m = 1``.  This module implements the degenerate case directly: one
+``any``, one ``argmax``, no cumulative ranking machinery.
+
+:func:`match_bus_batch` returns the same ``(replications, rows, columns)``
+triple layout as the crossbar matchers — replication-major, at most one
+grant per replication, column always 0 — so the lockstep engine's grant
+application path consumes it unchanged, and a property test pins it equal
+to ``match_pairs_batch`` on single-column batches.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import SchedulingError
+
+
+def match_bus_batch(requesting: np.ndarray, acceptable: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Single-bus grants over a ``(R, p)`` / ``(R, 1)`` batch.
+
+    ``requesting`` holds the waiting processors of each replication,
+    ``acceptable`` the one-column can-accept mask of the bus (free, with a
+    free resource behind it).  A replication grants exactly when some row
+    requests and the bus can accept, and the grant goes to the lowest
+    requesting row — the scalar broadcast's ascending retry order, where
+    the first success busies the bus and blocks the rest of the pass.
+    """
+    if acceptable.ndim != 2 or acceptable.shape[1] != 1:
+        raise SchedulingError(
+            f"bus matcher needs a single acceptable column, got shape "
+            f"{acceptable.shape}")
+    if requesting.shape[0] != acceptable.shape[0]:
+        raise SchedulingError(
+            f"replication axes disagree: {requesting.shape[0]} requesting "
+            f"rows, {acceptable.shape[0]} acceptable rows")
+    granted = (requesting != 0).any(axis=1) & (acceptable[:, 0] != 0)
+    reps = np.nonzero(granted)[0]
+    # argmax over uint8 returns the first 1: the lowest requesting row.
+    rows = requesting[reps].argmax(axis=1).astype(np.int64)
+    return reps, rows, np.zeros(reps.shape[0], dtype=np.int64)

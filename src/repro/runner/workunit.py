@@ -34,7 +34,10 @@ from repro.errors import ConfigurationError
 #: 5: the mega-batch engine arrived (whole-curve ``megabatch-figure``
 #:    units; the batchability gate widened to deterministic service and
 #:    static cell faults), so pre-megabatch entries must miss.
-CACHE_SCHEMA_VERSION = 5
+#: 6: the batchability gate widened to single-bus and multistage fabrics
+#:    (batched SBUS grants, plane-based Omega/cube/baseline routing) and
+#:    the ``auto`` engine arrived, so pre-fabric-gate entries must miss.
+CACHE_SCHEMA_VERSION = 6
 
 #: The reference solver backend: per-point dense solves with no cross-point
 #: state, the backend whose results every other backend must reproduce.

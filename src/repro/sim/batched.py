@@ -20,11 +20,15 @@ live row by exactly one event** with vectorized NumPy updates:
   block refills preserve bit-identity);
 * FIFO queues are ring buffers of task creation times in one
   ``(K, P, capacity)`` array;
-* dispatch is the batched priority matcher of
-  :mod:`repro.networks.batched_crossbar` — the closed form of the
-  crossbar cells' wavefront, or the masked wavefront itself when the
-  fabric carries dead crosspoints — executed once per partition for every
-  row at once;
+* dispatch is a per-fabric batched kernel (see ``FABRIC_CAPABILITIES``):
+  the priority matcher of :mod:`repro.networks.batched_crossbar` — the
+  closed form of the crossbar cells' wavefront, or the masked wavefront
+  itself when the fabric carries dead crosspoints — executed once per
+  partition for every row at once; its single-column degenerate form in
+  :mod:`repro.networks.batched_sbus` for the shared bus; and the plane
+  router of :mod:`repro.networks.batched_omega` for multistage fabrics,
+  which answers one connect attempt per requesting input (in the scalar
+  broadcast's ascending order) for every row at once;
 * mean queueing delay accumulates by Welford's recurrence exactly as
   :class:`repro.sim.stats.TallyStat` does, vectorized when every granted
   row appears once and replayed sequentially when one row receives
@@ -59,21 +63,25 @@ regression test checks equality of per-row delay estimates over a
 randomized ``(p, m, r, rho)`` grid.
 
 Scope (see :func:`batched_unsupported_reason` for the precise gate):
-``XBAR`` configurations under ``"priority"`` arbitration whose
-interarrival and transmission distributions are continuous.  The service
-distribution may additionally be ``"deterministic"``: service ends
-inherit continuous transmission-end timestamps plus a constant, so their
-ties stay measure-zero, whereas a deterministic transmission or
-interarrival time lattices event timestamps and tie order is a
-heap-insertion property the lockstep argmin cannot reproduce.  Fault
-configurations are supported exactly when they reduce to a *static*
-degraded fabric: every stochastic model silent (``mttf = inf``), an
-explicit schedule of cell-down events at time 0, and an infinite task
-timeout — then the scalar run equals a healthy run with those crosspoints
-masked out of dispatch (no circuit exists at time 0 to sever, so no
-retries, no backoff draws, no queue expiry), which is precisely what
-masking the dead cells into the matcher's gate planes computes.
-Anything else falls back to the scalar engine.
+every fabric family in the ``FABRIC_CAPABILITIES`` table — ``XBAR``,
+``SBUS``, and the multistage wirings (``OMEGA``, ``CUBE``,
+``BASELINE``) — under ``"priority"`` arbitration, with a finite resource
+count per port and continuous interarrival and transmission
+distributions.  The service distribution may additionally be
+``"deterministic"``: service ends inherit continuous transmission-end
+timestamps plus a constant, so their ties stay measure-zero, whereas a
+deterministic transmission or interarrival time lattices event
+timestamps and tie order is a heap-insertion property the lockstep
+argmin cannot reproduce.  Fault configurations are supported exactly
+when they reduce to a *static* degraded fabric the dispatch kernel can
+mask: every stochastic model silent (``mttf = inf``), an infinite task
+timeout, and — on ``XBAR`` only — an explicit schedule of cell-down
+events at time 0, when the scalar run equals a healthy run with those
+crosspoints masked out of dispatch (no circuit exists at time 0 to
+sever, so no retries, no backoff draws, no queue expiry), which is
+precisely what masking the dead cells into the matcher's gate planes
+computes.  Bus and multistage kernels carry no fault planes, so any
+fault schedule on them falls back to the scalar engine.
 """
 
 from __future__ import annotations
@@ -92,6 +100,9 @@ from repro.networks.batched_crossbar import (
     masked_match_pairs_batch,
     match_pairs_batch,
 )
+from repro.networks.batched_omega import BatchedMultistageRouter
+from repro.networks.batched_sbus import match_bus_batch
+from repro.networks.topology import make_topology
 from repro.sim.rng import BATCH_BLOCK, spawn_seed, uniform_block_source
 
 if TYPE_CHECKING:  # pragma: no cover - circular at runtime (arrivals uses rng)
@@ -321,7 +332,40 @@ class MegaBatchResult:
     measurement_start: float
 
 
-def _fault_reason(config: SystemConfig) -> Optional[str]:
+@dataclass(frozen=True)
+class FabricCapability:
+    """What the lockstep engine can do for one fabric family.
+
+    ``dispatch`` names the batched dispatch kernel — ``"crossbar"`` (the
+    rank-paired priority matcher, or the masked wavefront on a degraded
+    switch), ``"bus"`` (the single-column grant of
+    :func:`~repro.networks.batched_sbus.match_bus_batch`), or
+    ``"multistage"`` (the plane router of
+    :class:`~repro.networks.batched_omega.BatchedMultistageRouter`).
+    ``maskable_faults`` says whether a static time-0 component-down
+    schedule can be masked into the kernel's gate planes; fabrics without
+    it fall back to the scalar engine for any fault schedule.
+    """
+
+    dispatch: str
+    maskable_faults: bool
+
+
+#: The per-fabric batchability table: which dispatch kernel serves each
+#: network type, and whether static fault schedules mask into it.  A
+#: network type missing from this table has no batched kernel at all.
+FABRIC_CAPABILITIES = {
+    "XBAR": FabricCapability(dispatch="crossbar", maskable_faults=True),
+    "SBUS": FabricCapability(dispatch="bus", maskable_faults=False),
+    "OMEGA": FabricCapability(dispatch="multistage", maskable_faults=False),
+    "CUBE": FabricCapability(dispatch="multistage", maskable_faults=False),
+    "BASELINE": FabricCapability(dispatch="multistage",
+                                 maskable_faults=False),
+}
+
+
+def _fault_reason(config: SystemConfig,
+                  capability: FabricCapability) -> Optional[str]:
     """Why ``config.faults`` is not batchable, or None when it is.
 
     The batched engines support exactly the *static degraded fabric*: a
@@ -330,7 +374,10 @@ def _fault_reason(config: SystemConfig) -> Optional[str]:
     fire, no retry (and no backoff draw) ever happens, queue expiry is
     off, and the stochastic processes are provably silent — so the scalar
     run equals a healthy run with those crosspoints masked out of
-    dispatch, which the masked wavefront matcher reproduces.
+    dispatch, which the masked wavefront matcher reproduces.  Only the
+    crossbar kernel carries such gate planes
+    (``capability.maskable_faults``); any fault schedule on another
+    fabric blocks batching.
     """
     faults = config.faults
     if faults is None:
@@ -345,6 +392,10 @@ def _fault_reason(config: SystemConfig) -> Optional[str]:
     schedule = faults.schedule
     if schedule is None or len(schedule) == 0:
         return None
+    if not capability.maskable_faults:
+        return (f"a fault schedule on a {config.network_type} fabric "
+                "(only crossbar cell-down schedules mask into the batched "
+                "gate planes)")
     seen = set()
     for event in schedule.events:
         if event.kind != "cell":
@@ -380,13 +431,15 @@ def batched_unsupported_reason(config: Union[SystemConfig, str],
     CLI surfaces when ``--engine batched|megabatch`` falls back to the
     scalar engine.  The gate, in order:
 
-    * ``XBAR`` fabrics only (the lockstep matcher models crossbar cells);
+    * a fabric family with a dispatch kernel in ``FABRIC_CAPABILITIES``
+      (all five grammar network types have one);
     * ``"priority"`` arbitration only (random arbitration draws
-      per-dispatch randomness the matcher does not model);
+      per-dispatch randomness the dispatch kernels do not model);
     * a finite resource count per port (the calendar needs a fixed
       service-slot axis);
     * faults, if any, must reduce to a static time-0 cell-down schedule
-      (see :func:`_fault_reason`);
+      on a fabric whose kernel can mask it — ``XBAR`` only (see
+      :func:`_fault_reason`);
     * continuous interarrival and transmission distributions (discrete
       holding times tie event timestamps, and tie order is a
       heap-insertion property the lockstep argmin cannot reproduce); the
@@ -396,16 +449,17 @@ def batched_unsupported_reason(config: Union[SystemConfig, str],
     """
     if isinstance(config, str):
         config = SystemConfig.parse(config)
-    if config.network_type != "XBAR":
-        return (f"{config.network_type} fabrics (the lockstep matcher "
-                "models crossbar cells only)")
+    capability = FABRIC_CAPABILITIES.get(config.network_type)
+    if capability is None:
+        return (f"{config.network_type} fabrics (no batched dispatch "
+                "kernel in the capability table)")
     if arbitration != "priority":
         return (f"{arbitration!r} arbitration (per-dispatch randomness "
-                "the lockstep matcher does not model)")
+                "the lockstep dispatch kernels do not model)")
     if config.resources_per_port == math.inf:
         return ("an infinite resource pool (the calendar needs a fixed "
                 "service-slot axis)")
-    fault_reason = _fault_reason(config)
+    fault_reason = _fault_reason(config, capability)
     if fault_reason is not None:
         return fault_reason
     for name, distribution in (
@@ -532,6 +586,15 @@ class MegaBatchEngine:
         self._per_partition = config.processors_per_network
         self._ports = ports
         self._resources = resources
+
+        capability = FABRIC_CAPABILITIES[config.network_type]
+        self._dispatch_kind = capability.dispatch
+        self._router: Optional[BatchedMultistageRouter] = None
+        if capability.dispatch == "multistage":
+            self._router = BatchedMultistageRouter(
+                make_topology(config.network_type,
+                              config.inputs_per_network),
+                rows=rows, partitions=partitions)
 
         # The calendar: [0, P) next arrivals, [P, 2P) transmission ends,
         # [2P, 2P + total_ports * r) service ends, one row per
@@ -676,7 +739,7 @@ class MegaBatchEngine:
         ports = self._ports
         resources = self._resources
         calendar = self._calendar
-        masks = self._alive_masks
+        router = self._router
         single = partitions == 1
         arrival_table, transmission_table, service_table = (
             self._build_tables(horizon))
@@ -739,6 +802,18 @@ class MegaBatchEngine:
                 calendar[tr_reps, slots[sub]] = _INF
                 self._connected_port[tr_reps, rows] = -1
                 self._bus_busy[tr_reps, port_index] = 0
+                if router is not None:
+                    # Tear down the multistage circuits (no draws happen
+                    # here, so ordering against the service draw below is
+                    # immaterial — only the broadcast must see freed links).
+                    if single:
+                        router.release_batch(
+                            tr_reps,
+                            np.zeros(rows.shape[0], dtype=np.int64), rows)
+                    else:
+                        router.release_batch(
+                            tr_reps, partition,
+                            rows - partition * per_partition)
                 self._busy_resources[tr_reps, port_index] += 1
                 free_slot = (self._service_end[tr_reps, port_index]
                              == _INF).argmax(axis=1)
@@ -776,15 +851,13 @@ class MegaBatchEngine:
                     request[b_reps] = waiting[b_reps]
                 if not request.any():
                     continue
+                if router is not None:
+                    self._route_requests(0, request, times, warmup)
+                    continue
                 acceptable = ((self._bus_busy == 0)
                               & (self._busy_resources < resources))
-                if masks is None:
-                    grant_reps, grant_rows, grant_cols = match_pairs_batch(
-                        request, acceptable)
-                else:
-                    grant_reps, grant_rows, grant_cols = (
-                        masked_match_pairs_batch(request, acceptable,
-                                                 masks[0]))
+                grant_reps, grant_rows, grant_cols = self._match(
+                    0, request, acceptable)
                 if grant_reps.size:
                     self._apply_grants(0, grant_reps, grant_rows, grant_cols,
                                        times, warmup)
@@ -802,6 +875,14 @@ class MegaBatchEngine:
                         request[b_reps, segment] = waiting[b_reps, segment]
             if not request.any():
                 continue
+            if router is not None:
+                for g in range(partitions):
+                    segment_requests = request[:, g * per_partition:
+                                               (g + 1) * per_partition]
+                    if segment_requests.any():
+                        self._route_requests(g, segment_requests, times,
+                                             warmup)
+                continue
             acceptable = ((self._bus_busy == 0)
                           & (self._busy_resources < resources))
             for g in range(partitions):
@@ -810,17 +891,56 @@ class MegaBatchEngine:
                 if not segment_requests.any():
                     continue
                 segment_acceptable = acceptable[:, g * ports:(g + 1) * ports]
-                if masks is None:
-                    grant_reps, grant_rows, grant_cols = match_pairs_batch(
-                        segment_requests, segment_acceptable)
-                else:
-                    grant_reps, grant_rows, grant_cols = (
-                        masked_match_pairs_batch(segment_requests,
-                                                 segment_acceptable,
-                                                 masks[g]))
+                grant_reps, grant_rows, grant_cols = self._match(
+                    g, segment_requests, segment_acceptable)
                 if grant_reps.size:
                     self._apply_grants(g, grant_reps, grant_rows, grant_cols,
                                        times, warmup)
+
+    def _match(self, partition: int, requests: np.ndarray,
+               acceptable: np.ndarray
+               ) -> Tuple[_IntArray, _IntArray, _IntArray]:
+        """One batched dispatch of a crossbar or bus partition.
+
+        All three matchers return the same replication-major,
+        row-ascending ``(reps, rows, columns)`` triple layout.
+        """
+        if self._dispatch_kind == "bus":
+            return match_bus_batch(requests, acceptable)
+        masks = self._alive_masks
+        if masks is None:
+            return match_pairs_batch(requests, acceptable)
+        return masked_match_pairs_batch(requests, acceptable,
+                                        masks[partition])
+
+    def _route_requests(self, partition: int, requests: np.ndarray,
+                        times: _FloatArray, warmup: float) -> None:
+        """One status broadcast of a multistage partition.
+
+        The scalar broadcast retries waiting processors in ascending
+        index order, recomputing the candidate ports before each attempt
+        (an earlier grant busies a bus and may block a later input).
+        The router replays that whole pass in a handful of vectorized
+        grant waves — see
+        :meth:`~repro.networks.batched_omega.BatchedMultistageRouter.route_broadcast`
+        for why the waves reproduce the ascending order bit for bit —
+        and this method applies each wave's dispatch bookkeeping (queue
+        pops, Welford updates, transmission draws) between waves.
+        """
+        router = self._router
+        assert router is not None
+        req_rows = np.nonzero(requests.any(axis=1))[0]
+        if req_rows.shape[0] == 0:
+            return
+        lo = partition * self._ports
+        hi = lo + self._ports
+        acceptable = ((self._bus_busy[req_rows, lo:hi] == 0)
+                      & (self._busy_resources[req_rows, lo:hi]
+                         < self._resources))
+        for positions, inputs, ports in router.route_broadcast(
+                req_rows, partition, requests[req_rows], acceptable):
+            self._apply_grants(partition, req_rows[positions], inputs,
+                               ports, times, warmup)
 
     def _apply_grants(self, partition: int, grant_reps: _IntArray,
                       grant_rows: _IntArray, grant_cols: _IntArray,

@@ -284,8 +284,9 @@ class TestFigureParity:
         assert len(seen) > 50
 
     def test_engine_tag_separates_cache_identities(self):
-        """Scalar and batched sweep points never share a digest."""
-        for exp_id in ("fig7", "fig8"):
+        """Scalar and batched sweep points never share a digest, on
+        crossbar and multistage figures alike."""
+        for exp_id in ("fig7", "fig8", "fig12", "fig13"):
             _spec, _grid, scalar_units = figure_work_units(
                 exp_id, intensities=[0.3, 0.6], engine="scalar")
             _spec, _grid, batched_units = figure_work_units(
@@ -299,7 +300,7 @@ class TestFigureParity:
     def test_megabatch_units_never_cross_other_engines(self):
         """Megabatch curve units share no digest with scalar or batched
         point units (a megabatch cache entry is a whole curve)."""
-        for exp_id in ("fig7", "fig8"):
+        for exp_id in ("fig7", "fig8", "fig12", "fig13"):
             digests = {}
             for engine in ("scalar", "batched", "megabatch"):
                 _spec, _grid, units = figure_work_units(
@@ -307,11 +308,55 @@ class TestFigureParity:
                 digests[engine] = {u.config_digest for u in units}
             assert not digests["megabatch"] & digests["scalar"]
             assert not digests["megabatch"] & digests["batched"]
-        # fig7's curves are all healthy XBAR: one curve-level unit each.
-        spec, _grid, units = figure_work_units("fig7", intensities=[0.3, 0.6],
-                                               engine="megabatch")
-        assert [u.evaluator_id for u in units] == (
-            ["megabatch-figure"] * len(spec.curves))
+        # Every simulated figure family is mega-batch eligible now: all
+        # of fig7's XBAR curves and all of fig12's Omega + crossbar
+        # curves become one curve-level unit each.
+        for exp_id in ("fig7", "fig12"):
+            spec, _grid, units = figure_work_units(
+                exp_id, intensities=[0.3, 0.6], engine="megabatch")
+            assert [u.evaluator_id for u in units] == (
+                ["megabatch-figure"] * len(spec.curves))
+
+    def test_every_simulated_figure_family_is_megabatch_eligible(self):
+        """The closed fabric gate: no simulated figure falls back when
+        asked for the mega-batch engine (SBUS figures stay analytic)."""
+        from repro.experiments import FIGURE_SPECS
+
+        simulated = 0
+        for exp_id, spec in FIGURE_SPECS.items():
+            _spec, _grid, units = figure_work_units(
+                exp_id, intensities=[0.3, 0.6], engine="megabatch")
+            kinds = {u.evaluator_id for u in units}
+            assert "sweep-point" not in kinds, (
+                f"{exp_id} still falls back to per-point units")
+            if "megabatch-figure" in kinds:
+                simulated += 1
+        assert simulated >= 4  # figs 7, 8, 12, 13 at least
+
+    def test_auto_engine_shares_megabatch_digests(self):
+        """``auto`` routes to the same units (and cache entries) as an
+        explicit megabatch request — the routing is digest-invisible."""
+        for exp_id in ("fig7", "fig12", "fig4"):
+            _spec, _grid, mega_units = figure_work_units(
+                exp_id, intensities=[0.3, 0.6], engine="megabatch")
+            _spec, _grid, auto_units = figure_work_units(
+                exp_id, intensities=[0.3, 0.6], engine="auto")
+            assert [u.config_digest for u in auto_units] == [
+                u.config_digest for u in mega_units]
+
+    def test_schema_bump_separates_fabric_gate_digests(self, monkeypatch):
+        """Widening the gate to SBUS/multistage fabrics bumped the cache
+        schema, so pre-gate entries can never serve for the new kernels."""
+        from repro.runner import workunit
+
+        assert workunit.CACHE_SCHEMA_VERSION >= 6
+        assert (f"schema{workunit.CACHE_SCHEMA_VERSION}"
+                in workunit.code_version())
+        params = {"config": "16/1x16x16 OMEGA/2", "mu_ratio": 0.1,
+                  "intensity": 0.3, "engine": "batched"}
+        current = work_unit_digest("sweep-point", 3, params)
+        monkeypatch.setattr(workunit, "CACHE_SCHEMA_VERSION", 5)
+        assert work_unit_digest("sweep-point", 3, params) != current
 
     def test_megabatch_evaluator_matches_per_point_units(self):
         """The megabatch-figure unit value == its sweep-point units."""

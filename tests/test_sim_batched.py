@@ -33,7 +33,7 @@ from repro.workload.arrivals import Workload, sample_time
 
 
 def _random_cases(count, master_seed=7):
-    """Randomized (config, workload) grid spanning the engine's scope."""
+    """Randomized crossbar (config, workload) grid across the gate."""
     rng = random.Random(master_seed)
     cases = []
     for _ in range(count):
@@ -54,23 +54,75 @@ def _random_cases(count, master_seed=7):
     return cases
 
 
+def _random_bus_cases(count, master_seed=13):
+    """Randomized single-bus grid: shared and private buses, finite pools."""
+    rng = random.Random(master_seed)
+    cases = []
+    for _ in range(count):
+        processors = rng.choice([2, 4, 8, 12, 16])
+        partitions = rng.choice([1, 2, 4, processors])
+        if processors % partitions:
+            partitions = 1
+        resources = rng.choice([1, 2, 3])
+        rho = rng.choice([0.02, 0.05, 0.08, 0.12])
+        distribution = rng.choice(["exponential", "hyperexponential"])
+        config = SystemConfig.parse(
+            f"{processors}/{partitions}x1x1 SBUS/{resources}")
+        workload = Workload(rho, 1.0, 0.1,
+                            service_distribution=distribution)
+        cases.append((config, workload))
+    return cases
+
+
+def _random_multistage_cases(count, master_seed=17):
+    """Randomized multistage grid spanning all three wirings."""
+    rng = random.Random(master_seed)
+    cases = []
+    for _ in range(count):
+        partitions, size = rng.choice(
+            [(1, 4), (1, 8), (1, 16), (2, 4), (2, 8), (4, 4)])
+        kind = rng.choice(["OMEGA", "CUBE", "BASELINE"])
+        resources = rng.choice([1, 2, 3])
+        rho = rng.choice([0.02, 0.05, 0.08, 0.12])
+        distribution = rng.choice(["exponential", "hyperexponential"])
+        config = SystemConfig.parse(
+            f"{partitions * size}/{partitions}x{size}x{size} "
+            f"{kind}/{resources}")
+        workload = Workload(rho, 1.0, 0.1,
+                            service_distribution=distribution)
+        cases.append((config, workload))
+    return cases
+
+
+def _check_lockstep_grid(cases, seed_base):
+    """Per-replication delays must equal scalar ``simulate`` bit for bit."""
+    for index, (config, workload) in enumerate(cases):
+        seeds = [seed_base + index * 10 + k for k in range(4)]
+        horizon, warmup = 400.0, 50.0
+        batched = batched_replication_delays(
+            config, workload, horizon=horizon, warmup=warmup, seeds=seeds)
+        for k, seed in enumerate(seeds):
+            scalar = simulate(config, workload, horizon=horizon,
+                              warmup=warmup,
+                              seed=seed).mean_queueing_delay
+            if math.isnan(scalar):
+                assert math.isnan(batched[k])
+            else:
+                assert batched[k] == scalar, (
+                    f"replication {k} of {config} diverged")
+
+
 class TestLockstepBitIdentity:
     def test_randomized_grid_matches_scalar_engine(self):
-        """Per-replication delays equal scalar ``simulate`` bit for bit."""
-        for index, (config, workload) in enumerate(_random_cases(8)):
-            seeds = [2000 + index * 10 + k for k in range(4)]
-            horizon, warmup = 400.0, 50.0
-            batched = batched_replication_delays(
-                config, workload, horizon=horizon, warmup=warmup, seeds=seeds)
-            for k, seed in enumerate(seeds):
-                scalar = simulate(config, workload, horizon=horizon,
-                                  warmup=warmup,
-                                  seed=seed).mean_queueing_delay
-                if math.isnan(scalar):
-                    assert math.isnan(batched[k])
-                else:
-                    assert batched[k] == scalar, (
-                        f"replication {k} of {config} diverged")
+        _check_lockstep_grid(_random_cases(8), seed_base=2000)
+
+    def test_randomized_bus_grid_matches_scalar_engine(self):
+        """The widened gate: batched single-bus grants match scalar."""
+        _check_lockstep_grid(_random_bus_cases(8), seed_base=2100)
+
+    def test_randomized_multistage_grid_matches_scalar_engine(self):
+        """The widened gate: plane-routed Omega/cube/baseline match scalar."""
+        _check_lockstep_grid(_random_multistage_cases(8), seed_base=2200)
 
     def test_result_carries_counts_and_window(self):
         config = SystemConfig.parse("4/1x4x2 XBAR/2")
@@ -88,8 +140,13 @@ class TestLockstepBitIdentity:
 
     def test_scope_gate(self):
         workload = Workload(0.05, 1.0, 0.1)
+        # Every fabric family in the grammar has a dispatch kernel now;
+        # what gates a model is a *property*, never the fabric alone.
         assert supports_batched("16/1x16x8 XBAR/2", workload)
-        assert not supports_batched("16/1x16x16 OMEGA/2", workload)
+        assert supports_batched("16/1x16x16 OMEGA/2", workload)
+        assert supports_batched("16/4x4x4 CUBE/1", workload)
+        assert supports_batched("8/1x8x8 BASELINE/2", workload)
+        assert supports_batched("16/16x1x1 SBUS/2", workload)
         assert not supports_batched("16/16x1x1 SBUS/inf", workload)
         assert not supports_batched("16/1x16x8 XBAR/2", workload,
                                     arbitration="random")
@@ -103,7 +160,7 @@ class TestLockstepBitIdentity:
                            transmission_distribution="deterministic")
         assert not supports_batched("16/1x16x8 XBAR/2", lattice)
         with pytest.raises(ConfigurationError):
-            BatchedReplicationEngine("16/1x16x16 OMEGA/2", workload, seeds=[1])
+            BatchedReplicationEngine("16/16x1x1 SBUS/inf", workload, seeds=[1])
         with pytest.raises(ConfigurationError):
             BatchedReplicationEngine("16/1x16x8 XBAR/2", workload, seeds=[])
 
@@ -115,41 +172,55 @@ def _assert_same_delay(left, right, context=""):
         assert left == right, context
 
 
+def _check_megabatch_grid(cases, seed_base):
+    """Mega-batch == per-point batched == scalar, bit for bit.
+
+    Each case becomes a 3-point "curve" (three loads of the same
+    configuration and distributions) with 3 replications per point —
+    the full (point, replication) grid is checked against both the
+    per-point batched engine and the scalar engine.
+    """
+    for index, (config, workload) in enumerate(cases):
+        rhos = [workload.arrival_rate * scale
+                for scale in (0.5, 1.0, 1.5)]
+        workloads = [Workload(rho, 1.0, 0.1,
+                              service_distribution=
+                              workload.service_distribution)
+                     for rho in rhos]
+        groups = [[seed_base + index * 100 + point * 10 + k
+                   for k in range(3)]
+                  for point in range(len(workloads))]
+        horizon, warmup = 400.0, 50.0
+        mega = megabatch_figure_delays(config, workloads, horizon=horizon,
+                                       warmup=warmup, seed_groups=groups)
+        for point, point_workload in enumerate(workloads):
+            per_point = batched_replication_delays(
+                config, point_workload, horizon=horizon, warmup=warmup,
+                seeds=groups[point])
+            for k, seed in enumerate(groups[point]):
+                _assert_same_delay(per_point[k], mega[point][k],
+                                   f"case {index} point {point} rep {k}")
+                scalar = simulate(config, point_workload, horizon=horizon,
+                                  warmup=warmup,
+                                  seed=seed).mean_queueing_delay
+                _assert_same_delay(scalar, mega[point][k],
+                                   f"case {index} point {point} rep {k}")
+
+
 class TestMegaBatch:
     def test_randomized_grid_matches_per_point_and_scalar(self):
-        """Mega-batch == per-point batched == scalar, bit for bit.
+        _check_megabatch_grid(_random_cases(4, master_seed=11),
+                              seed_base=5000)
 
-        Each case becomes a 3-point "curve" (three loads of the same
-        configuration and distributions) with 3 replications per point —
-        the full (point, replication) grid is checked against both the
-        per-point batched engine and the scalar engine.
-        """
-        cases = _random_cases(4, master_seed=11)
-        for index, (config, workload) in enumerate(cases):
-            rhos = [workload.arrival_rate * scale
-                    for scale in (0.5, 1.0, 1.5)]
-            workloads = [Workload(rho, 1.0, 0.1,
-                                  service_distribution=
-                                  workload.service_distribution)
-                         for rho in rhos]
-            groups = [[5000 + index * 100 + point * 10 + k
-                       for k in range(3)]
-                      for point in range(len(workloads))]
-            horizon, warmup = 400.0, 50.0
-            mega = megabatch_figure_delays(config, workloads, horizon=horizon,
-                                           warmup=warmup, seed_groups=groups)
-            for point, point_workload in enumerate(workloads):
-                per_point = batched_replication_delays(
-                    config, point_workload, horizon=horizon, warmup=warmup,
-                    seeds=groups[point])
-                for k, seed in enumerate(groups[point]):
-                    _assert_same_delay(per_point[k], mega[point][k],
-                                       f"case {index} point {point} rep {k}")
-                    scalar = simulate(config, point_workload, horizon=horizon,
-                                      warmup=warmup,
-                                      seed=seed).mean_queueing_delay
-                    _assert_same_delay(scalar, mega[point][k],
-                                       f"case {index} point {point} rep {k}")
+    def test_randomized_bus_grid_matches_per_point_and_scalar(self):
+        """The widened gate: whole single-bus curves in one mega-batch."""
+        _check_megabatch_grid(_random_bus_cases(3, master_seed=19),
+                              seed_base=6000)
+
+    def test_randomized_multistage_grid_matches_per_point_and_scalar(self):
+        """The widened gate: whole multistage curves in one mega-batch."""
+        _check_megabatch_grid(_random_multistage_cases(3, master_seed=23),
+                              seed_base=7000)
 
     def test_deterministic_service_matches_scalar(self):
         """The widened gate: deterministic service runs in lockstep."""
@@ -189,13 +260,14 @@ class TestMegaBatch:
 
     def test_unsupported_reason_names_the_gate(self):
         workload = Workload(0.05, 1.0, 0.1)
-        assert batched_unsupported_reason("16/1x16x8 XBAR/2", workload) is None
-        assert "OMEGA" in batched_unsupported_reason("16/1x16x16 OMEGA/2",
-                                                     workload)
+        for triplet in ("16/1x16x8 XBAR/2", "16/1x16x16 OMEGA/2",
+                        "16/4x4x4 CUBE/1", "8/1x8x8 BASELINE/2",
+                        "16/16x1x1 SBUS/2"):
+            assert batched_unsupported_reason(triplet, workload) is None
         assert "arbitration" in batched_unsupported_reason(
             "16/1x16x8 XBAR/2", workload, arbitration="random")
-        assert "SBUS" in batched_unsupported_reason("16/16x1x1 SBUS/inf",
-                                                    workload)
+        assert "infinite resource pool" in batched_unsupported_reason(
+            "16/16x1x1 SBUS/inf", workload)
         lattice = Workload(0.05, 1.0, 0.1,
                            interarrival_distribution="deterministic")
         assert "interarrival" in batched_unsupported_reason(
@@ -208,6 +280,46 @@ class TestMegaBatch:
             FaultConfig(schedule=FaultSchedule.of(
                 (5.0, "cell", (0, (0, 0)), "down"))))
         assert "dynamic" in batched_unsupported_reason(dynamic, workload)
+        faulted_omega = SystemConfig.parse("16/1x16x16 OMEGA/2").with_faults(
+            FaultConfig(schedule=FaultSchedule.of(
+                (0.0, "cell", (0, (0, 0)), "down"))))
+        assert "OMEGA" in batched_unsupported_reason(faulted_omega, workload)
+
+    def test_every_reason_names_the_blocking_property(self):
+        """Regression for the stale "XBAR fabrics only" phrasing.
+
+        Each gated combination's reason must name the property that
+        actually blocks it — never a fabric family that now has a
+        dispatch kernel, and never the old blanket scope claim.
+        """
+        workload = Workload(0.05, 1.0, 0.1)
+        faulted = FaultConfig(schedule=FaultSchedule.of(
+            (0.0, "cell", (0, (0, 0)), "down")))
+        gated = [
+            ("16/16x1x1 SBUS/inf", workload, {}, "infinite resource pool"),
+            ("16/1x16x8 XBAR/2", workload, {"arbitration": "random"},
+             "'random' arbitration"),
+            ("16/1x16x8 XBAR/2", workload, {"arbitration": "fifo"},
+             "'fifo' arbitration"),
+            ("16/1x16x8 XBAR/2",
+             Workload(0.05, 1.0, 0.1,
+                      transmission_distribution="deterministic"),
+             {}, "'deterministic' transmission distribution"),
+            ("16/1x16x8 XBAR/2",
+             Workload(0.05, 1.0, 0.1,
+                      interarrival_distribution="deterministic"),
+             {}, "'deterministic' interarrival distribution"),
+            (SystemConfig.parse("16/1x16x16 OMEGA/2").with_faults(faulted),
+             workload, {}, "fault schedule on a OMEGA fabric"),
+            (SystemConfig.parse("16/16x1x1 SBUS/2").with_faults(faulted),
+             workload, {}, "fault schedule on a SBUS fabric"),
+        ]
+        for config, case_workload, kwargs, needle in gated:
+            reason = batched_unsupported_reason(config, case_workload,
+                                                **kwargs)
+            assert reason is not None, f"{config} should be gated"
+            assert needle in reason, f"{reason!r} must name {needle!r}"
+            assert "fabrics only" not in reason
 
     def test_point_of_row_maps_rows_to_points(self):
         config = SystemConfig.parse("4/1x4x2 XBAR/2")
@@ -345,11 +457,44 @@ class TestSweepPointEngine:
     def test_batched_point_falls_back_outside_scope(self):
         from repro.analysis.sweep import simulated_point
 
-        scalar = simulated_point("8/1x8x8 OMEGA/2", 0.1, 0.4, horizon=1_500.0,
-                                 seed=5)
-        batched = simulated_point("8/1x8x8 OMEGA/2", 0.1, 0.4, horizon=1_500.0,
-                                  seed=5, engine="batched")
+        # An infinite private-resource pool keeps the bus model gated, so
+        # the batched request must quietly produce the scalar point.
+        scalar = simulated_point("16/16x1x1 SBUS/inf", 0.1, 0.4,
+                                 horizon=1_500.0, seed=5)
+        batched = simulated_point("16/16x1x1 SBUS/inf", 0.1, 0.4,
+                                  horizon=1_500.0, seed=5, engine="batched")
         assert batched == scalar
+
+    def test_batched_point_runs_new_fabrics(self):
+        """Omega and single-bus points run batched, matching scalar seeds
+        replication for replication (same spawned seed names)."""
+        from repro.analysis.sweep import simulated_point
+
+        for triplet, intensity in (("8/1x8x8 OMEGA/2", 0.4),
+                                   ("16/4x1x1 SBUS/2", 0.2)):
+            point = simulated_point(triplet, 0.1, intensity, horizon=1_500.0,
+                                    seed=5, engine="batched")
+            assert point.normalized_delay is not None
+            assert point.ci_halfwidth is not None and point.ci_halfwidth > 0
+
+    def test_auto_engine_matches_batched_in_scope(self):
+        from repro.analysis.sweep import simulated_point
+
+        for triplet in ("16/1x16x8 XBAR/2", "8/1x8x8 OMEGA/2"):
+            batched = simulated_point(triplet, 0.1, 0.4, horizon=1_000.0,
+                                      seed=5, engine="batched")
+            auto = simulated_point(triplet, 0.1, 0.4, horizon=1_000.0,
+                                   seed=5, engine="auto")
+            assert auto == batched
+
+    def test_auto_engine_falls_back_to_scalar(self):
+        from repro.analysis.sweep import simulated_point
+
+        scalar = simulated_point("16/16x1x1 SBUS/inf", 0.1, 0.4,
+                                 horizon=1_000.0, seed=5)
+        auto = simulated_point("16/16x1x1 SBUS/inf", 0.1, 0.4,
+                               horizon=1_000.0, seed=5, engine="auto")
+        assert auto == scalar
 
     def test_saturated_point_short_circuits(self):
         from repro.analysis.sweep import simulated_point
