@@ -1,0 +1,143 @@
+"""Cache index floor: ``stats``+``prune`` must beat the walk ≥10x at 20k.
+
+The SQLite entry index exists so aggregate cache operations stop paying
+O(entries) filesystem scans.  This benchmark builds a 20,000-entry store
+(300 under ``REPRO_BENCH_SMOKE=1``), measures the reference directory
+walks (``stats(walk=True)``, no-eviction ``prune(..., walk=True)``)
+against the index-backed defaults, and pins
+
+* result equality — the index answers are byte-equal to the walk's
+  (entries, total bytes, prune outcome), and
+* the acceptance floor — combined ``stats``+``prune`` at least 10x
+  faster through the index at full size (asserted only at full size;
+  smoke mode records the ratios without a floor).
+
+Each measurement is the best of three runs so one scheduler hiccup
+cannot fail the floor; ``get_many`` probe timing rides along in
+``extra_info`` for the sweep-startup story.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+from repro.runner import ResultCache
+from repro.runner.cache import encode_entry
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+ENTRIES = 300 if SMOKE else 20_000
+#: Floor from the acceptance criteria, asserted at full size only.
+SPEEDUP_FLOOR = 10.0
+#: Far above the store's total size: prune scans and ranks but evicts
+#: nothing, so the comparison times the scan, not the deletion.
+NO_EVICTION_BUDGET = 1 << 40
+
+
+def _digest(index: int) -> str:
+    return f"{index:08x}" + "e" * 56
+
+
+def _build_store(root) -> ResultCache:
+    """Write ENTRIES envelopes directly, then index them in one pass."""
+    for index in range(ENTRIES):
+        digest = _digest(index)
+        path = root / digest[:2] / f"{digest}.pkl"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(encode_entry(digest, (index, index * 0.5),
+                                      "bench-point"))
+    cache = ResultCache(root)
+    cache.reindex()
+    return cache
+
+
+def _best_of(function, repeats: int = 3):
+    """(result, best wall seconds) over ``repeats`` timed calls."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = perf_counter()
+        result = function()
+        best = min(best, perf_counter() - start)
+    return result, best
+
+
+def test_stats_and_prune_floor(benchmark, tmp_path):
+    cache = _build_store(tmp_path / "store")
+    # One untimed walk first so both sides run against a warm dentry cache.
+    cache.stats(walk=True)
+
+    walk_stats, walk_stats_t = _best_of(lambda: cache.stats(walk=True))
+    walk_prune, walk_prune_t = _best_of(
+        lambda: cache.prune(NO_EVICTION_BUDGET, walk=True))
+
+    def indexed():
+        start = perf_counter()
+        stats = cache.stats()
+        stats_t = perf_counter() - start
+        start = perf_counter()
+        prune = cache.prune(NO_EVICTION_BUDGET)
+        prune_t = perf_counter() - start
+        return stats, prune, stats_t, prune_t
+
+    (stats, prune, stats_t, prune_t), _ = benchmark.pedantic(
+        lambda: _best_of(indexed), rounds=1, iterations=1)
+
+    # The index must answer exactly what the walk answers.
+    assert (stats.entries, stats.total_bytes) == \
+        (walk_stats.entries, walk_stats.total_bytes)
+    assert stats.entries == ENTRIES
+    assert prune == walk_prune == (0, stats.total_bytes)
+
+    # get_many startup probe (half hits, half unknown digests): recorded,
+    # not floored — it is reads-for-hits plus one membership query.
+    probe = [_digest(i) for i in range(0, ENTRIES, 2)]
+    probe += [f"{i:08x}" + "f" * 56 for i in range(len(probe))]
+    values, probe_t = _best_of(lambda: cache.get_many(probe), repeats=1)
+    assert len(values) == len(probe) // 2
+
+    stats_speedup = walk_stats_t / stats_t
+    prune_speedup = walk_prune_t / prune_t
+    combined_speedup = (walk_stats_t + walk_prune_t) / (stats_t + prune_t)
+    benchmark.extra_info.update({
+        "entries": ENTRIES,
+        "smoke": SMOKE,
+        "walk_stats_s": round(walk_stats_t, 6),
+        "walk_prune_s": round(walk_prune_t, 6),
+        "indexed_stats_s": round(stats_t, 6),
+        "indexed_prune_s": round(prune_t, 6),
+        "stats_speedup": round(stats_speedup, 2),
+        "prune_speedup": round(prune_speedup, 2),
+        "combined_speedup": round(combined_speedup, 2),
+        "get_many_probe_s": round(probe_t, 6),
+        "get_many_probe_digests": len(probe),
+    })
+    if not SMOKE:
+        assert combined_speedup >= SPEEDUP_FLOOR, (
+            f"stats+prune via index only {combined_speedup:.1f}x faster "
+            f"than the walk at {ENTRIES} entries (floor {SPEEDUP_FLOOR}x); "
+            f"walk {walk_stats_t + walk_prune_t:.4f}s vs "
+            f"indexed {stats_t + prune_t:.4f}s")
+        assert stats_speedup >= SPEEDUP_FLOOR, (
+            f"stats via index only {stats_speedup:.1f}x faster "
+            f"(floor {SPEEDUP_FLOOR}x)")
+
+
+def test_reindex_recovers_the_exact_population(benchmark, tmp_path):
+    cache = _build_store(tmp_path / "store")
+    reference = cache.stats(walk=True)
+    cache.index.delete()
+
+    def rebuild():
+        fresh = ResultCache(cache.root)
+        return fresh.reindex(), fresh.stats()
+
+    (report, stats), _ = benchmark.pedantic(
+        lambda: _best_of(rebuild, repeats=1), rounds=1, iterations=1)
+    assert report.indexed == ENTRIES
+    assert (stats.entries, stats.total_bytes) == \
+        (reference.entries, reference.total_bytes)
+    benchmark.extra_info.update({
+        "entries": ENTRIES,
+        "reindex_added": report.added,
+    })

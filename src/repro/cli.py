@@ -7,9 +7,10 @@ Commands:
 * ``run``        — regenerate an experiment through the parallel sweep
   runner: ``--jobs N`` fans figure points out over worker processes and
   results are memoized in the content-addressed cache;
-* ``cache``      — inspect (``stats``), empty (``clear``), size-bound
-  (``prune --max-size``), or integrity-check (``verify [--repair]``) that
-  cache;
+* ``cache``      — inspect (``stats [--json]``), empty (``clear``),
+  size-bound (``prune --max-size``), integrity-check
+  (``verify [--repair|--fast]``), or rebuild the entry index of
+  (``reindex``) that cache;
 * ``simulate``   — run one configuration at a load point;
 * ``solve``      — exact Markov-chain analysis of a shared bus;
 * ``recommend``  — the Table II advisor over the standard candidates;
@@ -98,8 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: repro_profile.pstats)")
 
     cache = commands.add_parser(
-        "cache", help="inspect, clear, or prune the sweep result cache")
-    cache.add_argument("action", choices=["stats", "clear", "prune", "verify"])
+        "cache", help="inspect, clear, prune, audit, or reindex the sweep "
+                      "result cache")
+    cache.add_argument("action", choices=["stats", "clear", "prune",
+                                          "verify", "reindex"])
     cache.add_argument("--cache-dir", default=None,
                        help="cache directory "
                             "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
@@ -109,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--repair", action="store_true",
                        help="verify: quarantine corrupted entries and "
                             "evict unverifiable legacy-format ones")
+    cache.add_argument("--fast", action="store_true",
+                       help="verify: index-driven existence/size audit "
+                            "(no payload reads or checksums)")
+    cache.add_argument("--json", action="store_true",
+                       help="stats: emit machine-readable JSON for "
+                            "dashboards instead of the text report")
 
     simulate = commands.add_parser(
         "simulate", help="simulate one configuration at a load point")
@@ -286,7 +295,7 @@ def _command_run(args) -> int:
           f"({runner.effective_jobs} job(s), {hits} cache hit(s), "
           f"cache {'off' if cache is None else cache.root})")
     report = runner.last_report
-    if not report.clean or report.resumed:
+    if not report.clean or report.resumed or report.deduped:
         print(report.format())
     if profiler is not None:
         import pstats
@@ -319,9 +328,20 @@ def _command_cache(args) -> int:
               f"limit {format_bytes(max_bytes)})")
         return 0
     if args.action == "verify":
+        if args.fast:
+            fast_report = cache.verify_fast()
+            print(fast_report.format())
+            return 0 if fast_report.clean else 1
         report = cache.verify(repair=args.repair)
         print(report.format())
         return 0 if report.clean else 1
+    if args.action == "reindex":
+        print(cache.reindex().format())
+        return 0
+    if args.json:
+        import json
+        print(json.dumps(cache.stats().as_dict(), indent=2, sort_keys=True))
+        return 0
     print(cache.stats().format())
     return 0
 

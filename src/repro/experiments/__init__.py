@@ -8,6 +8,7 @@ from repro.experiments.figures import (
     blocking_experiment,
     cycle_time_comparison,
     fig11_example,
+    figure_family_work_units,
     figure_series,
     figure_work_units,
     intensity_grid,
@@ -31,6 +32,7 @@ __all__ = [
     "FigureSpec",
     "FIGURE_SPECS",
     "QUALITY_PRESETS",
+    "figure_family_work_units",
     "figure_series",
     "figure_work_units",
     "intensity_grid",

@@ -1,0 +1,289 @@
+"""SQLite entry index for the result cache: O(1) stats, LRU without walks.
+
+The content-addressed store (:mod:`repro.runner.cache`) answers *point*
+queries cheaply — ``get`` is one open — but every *aggregate* question
+(``stats``, ``prune --max-size``, ``verify``) used to walk the whole
+sharded tree and ``stat`` every entry: O(entries) filesystem scans that
+dominate once the store holds tens of thousands of results.  This module
+keeps a WAL-mode SQLite index alongside the store
+(``<root>/_index.sqlite``) recording, per entry::
+
+    digest            TEXT PRIMARY KEY   -- the work-unit content digest
+    size              INTEGER            -- entry file size in bytes
+    mtime             REAL               -- entry file mtime (LRU order)
+    envelope_version  INTEGER            -- 0 for legacy/undecodable blobs
+    evaluator_id      TEXT               -- '' when the writer didn't know
+
+``ResultCache`` updates the index transactionally on every ``put``,
+quarantine, and prune, so ``stats`` becomes one ``COUNT/SUM`` query,
+``prune`` ranks eviction candidates by indexed mtime, and ``get_many``
+turns a sweep's startup probe into one ``IN (...)`` query plus reads for
+the hits.
+
+**The index is strictly advisory.**  No value is ever served from it:
+``get`` always reads the entry file and verifies its checksummed envelope,
+so a stale, deleted, or corrupted index can cause extra work (a recompute,
+an over-estimate in ``stats``) but never a wrong result.  Every index
+operation degrades gracefully — a broken database file is discarded and
+rebuilt, a locked database falls back to the walk — and
+``repro cache reindex`` rebuilds the whole table from the store, reporting
+the drift it repaired.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple, Union
+
+#: The index database file, directly under the cache root (its ``-wal`` and
+#: ``-shm`` companions appear next to it while connections are open).
+INDEX_FILENAME = "_index.sqlite"
+
+#: Bumped on incompatible index schema changes; a mismatched database is
+#: discarded and rebuilt from the store (the index holds no authority).
+INDEX_SCHEMA_VERSION = 1
+
+#: SQLite bind-parameter budget per ``IN (...)`` query (the portable
+#: SQLITE_MAX_VARIABLE_NUMBER floor is 999).
+_CHUNK = 900
+
+#: One indexed entry: ``(digest, size, mtime, envelope_version, evaluator_id)``.
+IndexRow = Tuple[str, int, float, int, str]
+
+
+class CacheIndex:
+    """The advisory SQLite mirror of one cache store's entry population.
+
+    Connections are lazy and per-instance; concurrent processes sharing a
+    root each hold their own connection and coordinate through WAL (writers
+    append, readers never block writers).  ``synchronous=OFF`` is safe
+    here precisely because the index is advisory: an OS crash may lose the
+    tail of the index, never a cached value, and ``reindex`` recovers.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]):
+        self.root = Path(root)
+        self.path = self.root / INDEX_FILENAME
+        self._connection: "sqlite3.Connection | None" = None
+
+    # -- connection lifecycle ---------------------------------------------
+
+    def exists(self) -> bool:
+        """Whether the index database file is present on disk."""
+        return self.path.is_file()
+
+    def _connect(self) -> sqlite3.Connection:
+        if self._connection is not None:
+            return self._connection
+        self.root.mkdir(parents=True, exist_ok=True)
+        connection = sqlite3.connect(self.path, timeout=30.0)
+        try:
+            self._prepare(connection)
+        except sqlite3.DatabaseError:
+            # A torn or foreign file where the index should be: discard it
+            # (the store is the authority) and start a fresh database.
+            connection.close()
+            self.delete()
+            connection = sqlite3.connect(self.path, timeout=30.0)
+            self._prepare(connection)
+        self._connection = connection
+        return connection
+
+    @staticmethod
+    def _prepare(connection: sqlite3.Connection) -> None:
+        connection.execute("PRAGMA journal_mode=WAL")
+        connection.execute("PRAGMA synchronous=OFF")
+        connection.execute("PRAGMA busy_timeout=30000")
+        (version,) = connection.execute("PRAGMA user_version").fetchone()
+        if version not in (0, INDEX_SCHEMA_VERSION):
+            connection.execute("DROP TABLE IF EXISTS entries")
+        connection.execute(
+            "CREATE TABLE IF NOT EXISTS entries ("
+            " digest TEXT PRIMARY KEY,"
+            " size INTEGER NOT NULL,"
+            " mtime REAL NOT NULL,"
+            " envelope_version INTEGER NOT NULL DEFAULT 0,"
+            " evaluator_id TEXT NOT NULL DEFAULT '')")
+        connection.execute(
+            "CREATE INDEX IF NOT EXISTS entries_mtime ON entries(mtime)")
+        connection.execute(f"PRAGMA user_version={INDEX_SCHEMA_VERSION}")
+        connection.commit()
+
+    def close(self) -> None:
+        """Release the connection (the database file stays)."""
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except sqlite3.Error:  # pragma: no cover - close cannot matter
+                pass
+            self._connection = None
+
+    def delete(self) -> None:
+        """Remove the database and its WAL companions from disk."""
+        self.close()
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.unlink(f"{self.path}{suffix}")
+            except OSError:
+                pass
+
+    # -- writes (transactional per call) ----------------------------------
+
+    def record(self, digest: str, size: int, mtime: float,
+               envelope_version: int = 0, evaluator_id: str = "") -> None:
+        """Upsert one entry row (called under ``put``'s atomic replace)."""
+        connection = self._connect()
+        connection.execute(
+            "INSERT OR REPLACE INTO entries VALUES (?,?,?,?,?)",
+            (digest, int(size), float(mtime), int(envelope_version),
+             evaluator_id))
+        connection.commit()
+
+    def replace_all(self, rows: Iterable[IndexRow]) -> None:
+        """Atomically swap the whole table for ``rows`` (reindex)."""
+        connection = self._connect()
+        with connection:  # one transaction: readers see old or new, not mid
+            connection.execute("DELETE FROM entries")
+            connection.executemany(
+                "INSERT OR REPLACE INTO entries VALUES (?,?,?,?,?)", rows)
+
+    def remove(self, digest: str) -> None:
+        """Drop one entry row (quarantine or eviction)."""
+        connection = self._connect()
+        connection.execute("DELETE FROM entries WHERE digest=?", (digest,))
+        connection.commit()
+
+    def remove_many(self, digests: Sequence[str]) -> None:
+        """Drop a batch of entry rows in one transaction (prune)."""
+        connection = self._connect()
+        with connection:
+            for start in range(0, len(digests), _CHUNK):
+                chunk = digests[start:start + _CHUNK]
+                connection.execute(
+                    "DELETE FROM entries WHERE digest IN "
+                    f"({','.join('?' * len(chunk))})", chunk)
+
+    def clear(self) -> None:
+        """Empty the table (``cache clear``)."""
+        connection = self._connect()
+        connection.execute("DELETE FROM entries")
+        connection.commit()
+
+    # -- queries -----------------------------------------------------------
+
+    def summary(self) -> Tuple[int, int]:
+        """``(entries, total_bytes)`` in one aggregate query."""
+        row = self._connect().execute(
+            "SELECT COUNT(*), COALESCE(SUM(size), 0) FROM entries").fetchone()
+        return int(row[0]), int(row[1])
+
+    def contains_many(self, digests: Sequence[str]) -> Set[str]:
+        """The subset of ``digests`` the index lists (one query per chunk)."""
+        connection = self._connect()
+        present: Set[str] = set()
+        for start in range(0, len(digests), _CHUNK):
+            chunk = digests[start:start + _CHUNK]
+            present.update(row[0] for row in connection.execute(
+                "SELECT digest FROM entries WHERE digest IN "
+                f"({','.join('?' * len(chunk))})", chunk))
+        return present
+
+    def lru_entries(self) -> List[Tuple[str, int, float]]:
+        """Every ``(digest, size, mtime)``, least recently written first."""
+        return [(row[0], int(row[1]), float(row[2]))
+                for row in self._connect().execute(
+                    "SELECT digest, size, mtime FROM entries "
+                    "ORDER BY mtime, digest")]
+
+    def rows(self) -> List[IndexRow]:
+        """Every indexed row, digest-ordered (verify/reindex drift checks)."""
+        return [(row[0], int(row[1]), float(row[2]), int(row[3]), row[4])
+                for row in self._connect().execute(
+                    "SELECT * FROM entries ORDER BY digest")]
+
+
+@dataclass(frozen=True)
+class ReindexReport:
+    """What ``repro cache reindex`` found while rebuilding from the store.
+
+    ``added`` entries were on disk but missing from the index (writes the
+    index never saw), ``removed`` were indexed but gone from disk (stale
+    rows), ``changed`` disagreed on size or mtime; ``undecodable`` counts
+    entries whose envelope would not parse (they are indexed — ``stats``
+    counts bytes on disk, decodable or not — with envelope version 0).
+    """
+
+    root: str
+    indexed: int
+    added: int
+    removed: int
+    changed: int
+    undecodable: int = 0
+
+    @property
+    def drifted(self) -> bool:
+        return bool(self.added or self.removed or self.changed)
+
+    def format(self) -> str:
+        lines = [f"reindexed {self.indexed} entr(ies) under {self.root}: "
+                 f"{self.added} added, {self.removed} stale row(s) dropped, "
+                 f"{self.changed} changed"]
+        if self.undecodable:
+            lines.append(f"  {self.undecodable} entr(ies) undecodable "
+                         "(indexed as envelope version 0; "
+                         "`cache verify --repair` quarantines them)")
+        if not self.drifted:
+            lines.append("index was already consistent with the store")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FastVerifyReport:
+    """The outcome of an index-driven audit (``cache verify --fast``).
+
+    Checks that every indexed entry still exists on disk at its recorded
+    size — no reads, no checksums, O(entries) ``stat`` calls against one
+    query.  It cannot see unindexed files (run ``reindex`` for that) and it
+    proves nothing about payload integrity (run a full ``verify``); it
+    exists to catch the common drift — deleted or truncated entries —
+    in milliseconds.
+    """
+
+    root: str
+    checked: int
+    ok: int
+    missing: Tuple[str, ...] = ()
+    mismatched: Tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.missing and not self.mismatched
+
+    def format(self) -> str:
+        lines = [f"fast-verified {self.checked} indexed entr(ies) under "
+                 f"{self.root}: {self.ok} present, "
+                 f"{len(self.missing)} missing, "
+                 f"{len(self.mismatched)} size-mismatched"]
+        for digest in self.missing:
+            lines.append(f"  missing   : {digest}")
+        for digest in self.mismatched:
+            lines.append(f"  mismatched: {digest}")
+        if not self.clean:
+            lines.append("run `repro cache reindex` to resynchronize "
+                         "(values are never served from the index)")
+        return "\n".join(lines)
+
+
+def row_drift(old_rows: Sequence[IndexRow],
+              new_rows: Sequence[IndexRow]) -> Tuple[int, int, int]:
+    """``(added, removed, changed)`` between two digest-keyed row sets."""
+    old: Dict[str, IndexRow] = {row[0]: row for row in old_rows}
+    new: Dict[str, IndexRow] = {row[0]: row for row in new_rows}
+    added = sum(1 for digest in new if digest not in old)
+    removed = sum(1 for digest in old if digest not in new)
+    changed = sum(1 for digest, row in new.items()
+                  if digest in old and old[digest][1:3] != row[1:3])
+    return added, removed, changed

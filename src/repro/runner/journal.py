@@ -79,7 +79,8 @@ class SweepJournal:
 
     def record(self, digest: str, status: str, *, attempts: int = 1,
                cached: bool = False, resumed: bool = False,
-               degraded: Sequence[str] = (), wall_time: float = 0.0,
+               deduped: bool = False, degraded: Sequence[str] = (),
+               wall_time: float = 0.0,
                final_digest: Optional[str] = None,
                error: Optional[str] = None) -> None:
         """Append one outcome record (flushed immediately; crash-safe)."""
@@ -93,6 +94,10 @@ class SweepJournal:
             entry["cached"] = True
         if resumed:
             entry["resumed"] = True
+        if deduped:
+            # Additive key (same schema): the unit followed an equal-digest
+            # leader in its own run rather than executing.
+            entry["deduped"] = True
         if degraded:
             entry["degraded"] = list(degraded)
         if wall_time:

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError, WorkerError
 from repro.runner.cache import ResultCache
@@ -75,9 +75,12 @@ class UnitOutcome:
     started (1 for a clean first try); ``degraded`` lists the degradation
     ladder steps taken (``engine:batched->scalar``,
     ``backend:sweep->dense``, ``pool->serial``); ``resumed`` marks a cache
-    hit that a ``--resume`` journal predicted; ``computed_digest`` is the
-    digest of what was *actually* computed — it differs from
-    ``unit.config_digest`` exactly when degradation changed the unit.
+    hit that a ``--resume`` journal predicted; ``deduped`` marks a unit
+    that followed an equal-digest leader in the same run (its value,
+    error, and provenance are the leader's, its wall time zero);
+    ``computed_digest`` is the digest of what was *actually* computed — it
+    differs from ``unit.config_digest`` exactly when degradation changed
+    the unit.
     """
 
     unit: Any
@@ -88,6 +91,7 @@ class UnitOutcome:
     attempts: int = 1
     degraded: Tuple[str, ...] = ()
     resumed: bool = False
+    deduped: bool = False
     computed_digest: str = ""
 
     @property
@@ -101,16 +105,21 @@ class SweepRunner:
     * ``jobs`` — worker count (``None`` defers to ``REPRO_JOBS``, then 1);
     * ``cache`` — a :class:`ResultCache`, a directory path for one, or
       ``None`` to disable caching;
-    * ``chunk_size`` — legacy IPC-chunking knob; supervised dispatch
-      submits per unit (retry and timeout need per-unit futures), so this
-      is validated but no longer changes execution;
+    * ``chunk_size`` — removed; supervised dispatch submits per unit
+      (retry and timeout need per-unit futures), so passing any value is
+      a :class:`~repro.errors.ConfigurationError` directing callers to
+      :class:`SupervisorPolicy`;
     * ``supervisor`` — a :class:`SupervisorPolicy` (retry budget, unit
-      timeout, degradation ladder); ``None`` uses the defaults;
+      timeout, degradation ladder, in-flight dedup); ``None`` uses the
+      defaults;
     * ``chaos`` — an explicit :class:`ChaosPolicy` for fault injection
       (``None`` defers to the ``REPRO_CHAOS`` environment variable);
     * ``journal`` — a :class:`SweepJournal` appended per completed unit;
     * ``resume`` — serve units the journal already records as completed
-      from the cache and mark them ``resumed`` (requires both).
+      from the cache and mark them ``resumed`` (requires both);
+    * ``backend_factory`` — an :class:`~repro.runner.executors`
+      ``ExecutorBackend`` factory for the parallel path (``None`` uses
+      the local process pool).
 
     ``run`` returns outcomes in submission order regardless of completion
     order, so serial and parallel execution assemble identical series.  The
@@ -126,16 +135,20 @@ class SweepRunner:
                  supervisor: Optional[SupervisorPolicy] = None,
                  chaos: Optional[ChaosPolicy] = None,
                  journal: Optional[SweepJournal] = None,
-                 resume: bool = False):
-        if chunk_size is not None and chunk_size < 1:
+                 resume: bool = False,
+                 backend_factory: Optional[Callable] = None):
+        if chunk_size is not None:
             raise ConfigurationError(
-                f"chunk_size must be >= 1, got {chunk_size}")
+                f"chunk_size is gone (got {chunk_size!r}): supervised "
+                "dispatch submits one future per unit, so IPC chunking no "
+                "longer exists. Tune dispatch through SupervisorPolicy "
+                "(max_attempts, unit_timeout, dedup) instead.")
         self.jobs = jobs
         self.cache = (ResultCache(cache)
                       if isinstance(cache, (str, os.PathLike)) else cache)
-        self.chunk_size = chunk_size
         self.supervisor = supervisor if supervisor is not None \
             else SupervisorPolicy()
+        self.backend_factory = backend_factory
         self.chaos = chaos
         if chaos is not None and self.cache is not None \
                 and self.cache.chaos is None:
@@ -162,45 +175,57 @@ class SweepRunner:
         report = RunReport(total=len(units))
         outcomes: List[Optional[UnitOutcome]] = [None] * len(units)
 
+        # One indexed probe for the whole batch (duplicates collapse in
+        # the query), then per-hit verified values; see ResultCache.get_many.
+        cached_values: Dict[str, Any] = {}
+        if self.cache is not None and units:
+            cached_values = self.cache.get_many(
+                [unit.config_digest for unit in units])
+
         pending: List[Tuple[int, Any]] = []
         for index, unit in enumerate(units):
-            if self.cache is not None:
-                hit, value = self.cache.get(unit.config_digest)
-                if hit:
-                    resumed = unit.config_digest in resume_set
-                    outcomes[index] = UnitOutcome(
-                        unit=unit, value=value, wall_time=0.0, cached=True,
-                        resumed=resumed,
-                        computed_digest=unit.config_digest)
-                    report.cache_hits += 1
-                    if resumed:
-                        report.resumed += 1
-                    if journal is not None:
-                        journal.record(unit.config_digest, "ok", cached=True,
-                                       resumed=resumed)
-                    continue
+            if unit.config_digest in cached_values:
+                resumed = unit.config_digest in resume_set
+                outcomes[index] = UnitOutcome(
+                    unit=unit, value=cached_values[unit.config_digest],
+                    wall_time=0.0, cached=True, resumed=resumed,
+                    computed_digest=unit.config_digest)
+                report.cache_hits += 1
+                if resumed:
+                    report.resumed += 1
+                if journal is not None:
+                    journal.record(unit.config_digest, "ok", cached=True,
+                                   resumed=resumed)
+                continue
             pending.append((index, unit))
 
         if pending:
             def on_complete(index: int, outcome: UnitOutcome) -> None:
                 outcomes[index] = outcome
-                if outcome.ok:
+                if outcome.ok and not outcome.deduped:
+                    # A deduped follower's value is its leader's, already
+                    # written under the shared digest — count and store
+                    # each computation once.
                     report.computed += 1
                     if self.cache is not None:
-                        self.cache.put(outcome.computed_digest
-                                       or outcome.unit.config_digest,
-                                       outcome.value)
+                        self.cache.put(
+                            outcome.computed_digest
+                            or outcome.unit.config_digest,
+                            outcome.value,
+                            evaluator_id=outcome.unit.evaluator_id)
                 if journal is not None:
                     journal.record(
                         outcome.unit.config_digest,
                         "ok" if outcome.ok else "failed",
                         attempts=outcome.attempts,
+                        deduped=outcome.deduped,
                         degraded=outcome.degraded,
                         wall_time=outcome.wall_time,
                         final_digest=outcome.computed_digest or None,
                         error=outcome.error)
 
-            Supervisor(self.supervisor, chaos=self.chaos).execute(
+            Supervisor(self.supervisor, chaos=self.chaos,
+                       backend_factory=self.backend_factory).execute(
                 pending, jobs, report, on_complete)
 
         final = [outcome for outcome in outcomes if outcome is not None]

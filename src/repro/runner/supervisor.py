@@ -26,6 +26,14 @@ for the modeled fabrics:
   killed and the pool rebuilt; repeated respawns without any completed
   unit degrade the remaining work to serial execution.
 
+* **In-flight dedup.**  Units sharing a ``config_digest`` within one
+  batch execute once: the first occurrence leads, the rest follow its
+  outcome verbatim (value, error, degradation provenance, computed
+  digest) and are marked ``deduped``.  Because units are pure functions
+  of their digest material, a follower's outcome is byte-identical to
+  what executing it would have produced — dedup changes work done, never
+  results.
+
 * **Clean interruption.**  ``KeyboardInterrupt`` cancels outstanding
   futures and terminates worker processes before propagating, so Ctrl-C
   leaves no orphan workers (and, because cache writes are atomic and
@@ -35,23 +43,35 @@ The supervisor is deliberately value-transparent: retries and pool-level
 recovery recompute pure functions and cannot change results, so a sweep
 that completes without engine/backend degradation is byte-identical to a
 fault-free run — the property the chaos suite pins.
+
+Transport is pluggable: the parallel path drives any
+:class:`~repro.runner.executors.ExecutorBackend` (by default the local
+process pool), so distributed executors slot in under the same retry,
+timeout, and respawn logic.
 """
 
 from __future__ import annotations
 
 import time  # lint: disable=SIM002 - supervises wall-clock execution
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future
 from concurrent.futures import wait as wait_futures
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.faults.retry import RetryPolicy, backoff_stream
 from repro.runner.chaos import ChaosPolicy
 from repro.runner.evaluators import execute_payload
+from repro.runner.executors import (
+    ExecutorBackend,
+    ProcessPoolBackend,
+    terminate_pool,
+)
 from repro.runner.workunit import WorkUnit
+
+#: How the supervisor builds its default transport for ``workers`` slots.
+BackendFactory = Callable[[int], ExecutorBackend]
 
 
 @dataclass(frozen=True)
@@ -65,7 +85,9 @@ class SupervisorPolicy:
     engine/backend/serial fallback ladder; ``max_pool_respawns`` caps
     consecutive pool rebuilds *without progress* before the remaining work
     degrades to serial; ``retry`` shapes the backoff (defaults to a fast
-    0.05 s base, factor 2, capped at 2 s, ±50% seeded jitter).
+    0.05 s base, factor 2, capped at 2 s, ±50% seeded jitter); ``dedup``
+    collapses equal-digest units within a batch onto one execution
+    (outcome-transparent — disable it only to measure the redundant work).
     """
 
     max_attempts: int = 3
@@ -74,6 +96,7 @@ class SupervisorPolicy:
     max_pool_respawns: int = 5
     seed: int = 0
     retry: Optional[RetryPolicy] = None
+    dedup: bool = True
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -133,6 +156,7 @@ class RunReport:
     total: int = 0
     computed: int = 0
     cache_hits: int = 0
+    deduped: int = 0
     resumed: int = 0
     retries: int = 0
     timeouts: int = 0
@@ -149,9 +173,15 @@ class RunReport:
                     or self.failures)
 
     def format(self) -> str:
-        lines = [f"{self.total} unit(s): {self.computed} computed, "
-                 f"{self.cache_hits} cache hit(s)"
-                 + (f" ({self.resumed} resumed)" if self.resumed else "")]
+        summary = (f"{self.total} unit(s): {self.computed} computed, "
+                   f"{self.cache_hits} cache hit(s)")
+        if self.total:
+            summary += f" ({100.0 * self.cache_hits / self.total:.1f}% hit rate)"
+        if self.deduped:
+            summary += f", {self.deduped} deduped"
+        if self.resumed:
+            summary += f" ({self.resumed} resumed)"
+        lines = [summary]
         if not self.clean:
             lines.append(
                 f"fault tolerance: {self.retries} retry(s), "
@@ -198,9 +228,13 @@ class Supervisor:
     """
 
     def __init__(self, policy: SupervisorPolicy,
-                 chaos: Optional[ChaosPolicy] = None):
+                 chaos: Optional[ChaosPolicy] = None,
+                 backend_factory: Optional[BackendFactory] = None):
         self.policy = policy
         self.chaos = chaos
+        self.backend_factory: BackendFactory = (
+            backend_factory if backend_factory is not None
+            else ProcessPoolBackend)
         self._chaos_spec = (chaos.spec()
                             if chaos is not None and chaos.active else None)
 
@@ -211,11 +245,48 @@ class Supervisor:
         """Execute ``pending`` (index, unit) pairs; hook fires per outcome."""
         if not pending:
             return
+        if self.policy.dedup:
+            pending, on_complete = self._dedup(pending, report, on_complete)
         if jobs == 1 or len(pending) == 1:
             for index, unit in pending:
                 on_complete(index, self._run_inline(unit, report))
             return
-        self._execute_pool(pending, jobs, report, on_complete)
+        self._execute_backend(pending, jobs, report, on_complete)
+
+    @staticmethod
+    def _dedup(pending: Sequence[Tuple[int, WorkUnit]], report: RunReport,
+               on_complete: CompletionHook
+               ) -> Tuple[List[Tuple[int, WorkUnit]], CompletionHook]:
+        """Collapse equal-digest units onto one leader each.
+
+        The first occurrence of a digest executes; later occurrences become
+        followers whose outcomes are the leader's, re-keyed to their own
+        unit and marked ``deduped`` (with zero wall time — no work ran).
+        Everything else — value, error, attempts, degradation provenance,
+        ``computed_digest`` — propagates verbatim, so a deduped run is
+        byte-identical to a dedup-off run of the same batch.
+        """
+        leaders: List[Tuple[int, WorkUnit]] = []
+        followers: Dict[str, List[Tuple[int, WorkUnit]]] = {}
+        for index, unit in pending:
+            digest = unit.config_digest
+            if digest in followers:
+                followers[digest].append((index, unit))
+                report.deduped += 1
+            else:
+                followers[digest] = []
+                leaders.append((index, unit))
+        if not report.deduped:
+            return list(pending), on_complete
+
+        def hook(index: int, outcome) -> None:
+            on_complete(index, outcome)
+            for f_index, f_unit in followers.get(
+                    outcome.unit.config_digest, ()):
+                on_complete(f_index, replace(outcome, unit=f_unit,
+                                             wall_time=0.0, deduped=True))
+
+        return leaders, hook
 
     # -- serial path ------------------------------------------------------
 
@@ -255,19 +326,19 @@ class Supervisor:
                                error=error, attempts=tries,
                                degraded=degradations)
 
-    # -- pool path --------------------------------------------------------
+    # -- backend path -----------------------------------------------------
 
-    def _execute_pool(self, pending: Sequence[Tuple[int, WorkUnit]],
-                      jobs: int, report: RunReport,
-                      on_complete: CompletionHook) -> None:
+    def _execute_backend(self, pending: Sequence[Tuple[int, WorkUnit]],
+                         jobs: int, report: RunReport,
+                         on_complete: CompletionHook) -> None:
         policy = self.policy
         workers = min(jobs, len(pending))
         ready: Deque[_Flight] = deque(_Flight(index, unit)
                                       for index, unit in pending)
         delayed: List[_Flight] = []
         inflight: Dict[Future, _Flight] = {}
-        executor: Optional[ProcessPoolExecutor] = \
-            ProcessPoolExecutor(max_workers=workers)
+        backend: Optional[ExecutorBackend] = self.backend_factory(workers)
+        backend.start()
         respawns_without_progress = 0
         try:
             while ready or delayed or inflight:
@@ -278,7 +349,7 @@ class Supervisor:
                         delayed = [fl for fl in delayed
                                    if fl.not_before > now]
                         ready.extend(due)
-                if executor is None:
+                if backend is None:
                     # Pool gave up: the rest of the sweep runs serially.
                     for flight in self._drain(ready, delayed, inflight):
                         flight.degradations += ("pool->serial",)
@@ -292,10 +363,11 @@ class Supervisor:
                 pool_broken = False
                 while ready and len(inflight) < workers * 2:
                     flight = ready.popleft()
-                    if not self._submit(executor, flight, inflight, now):
-                        # The pool broke and submit refused the unit — it
-                        # never started, so no attempt is charged; it goes
-                        # back to the head of the queue for the respawn.
+                    if not self._submit(backend, flight, inflight, now):
+                        # The backend broke and submit refused the unit —
+                        # it never started, so no attempt is charged; it
+                        # goes back to the head of the queue for the
+                        # respawn.
                         ready.appendleft(flight)
                         pool_broken = True
                         break
@@ -313,11 +385,11 @@ class Supervisor:
                         flight = inflight.pop(future)
                         try:
                             _digest, value, error, wall = future.result()
-                        except BrokenProcessPool:
+                        except backend.broken_exceptions as exc:
                             pool_broken = True
                             self._handle_failure(
-                                flight, "worker process pool broke "
-                                "(BrokenProcessPool) while unit was in "
+                                flight, f"executor backend broke "
+                                f"({type(exc).__name__}) while unit was in "
                                 "flight", 0.0, now, ready, delayed, report,
                                 on_complete)
                             continue
@@ -350,30 +422,31 @@ class Supervisor:
                 if pool_broken:
                     report.pool_respawns += 1
                     respawns_without_progress += 1
-                    # Units still in flight died with the pool: resubmit
+                    # Units still in flight died with the backend: resubmit
                     # them through the normal failure path (their chaos
                     # salt advances, their budget is charged).
                     for future, flight in list(inflight.items()):
                         self._handle_failure(
-                            flight, "worker pool restarted while unit was "
-                            "in flight", 0.0, now, ready, delayed, report,
-                            on_complete)
+                            flight, "executor backend restarted while unit "
+                            "was in flight", 0.0, now, ready, delayed,
+                            report, on_complete)
                     inflight.clear()
-                    _terminate_executor(executor)
                     if respawns_without_progress > policy.max_pool_respawns:
-                        executor = None  # degrade the rest to serial
+                        backend.terminate()
+                        backend = None  # degrade the rest to serial
                     else:
-                        executor = ProcessPoolExecutor(max_workers=workers)
+                        backend.restart()
         except BaseException:
             # KeyboardInterrupt (and anything else fatal): cancel what has
             # not started, kill what has, and leave no orphan workers.
             for future in inflight:
                 future.cancel()
-            _terminate_executor(executor)
+            if backend is not None:
+                backend.terminate()
             raise
         else:
-            if executor is not None:
-                executor.shutdown(wait=True)
+            if backend is not None:
+                backend.shutdown()
 
     # -- helpers ----------------------------------------------------------
 
@@ -387,14 +460,14 @@ class Supervisor:
         inflight.clear()
         return sorted(flights, key=lambda flight: flight.index)
 
-    def _submit(self, executor: ProcessPoolExecutor, flight: _Flight,
+    def _submit(self, backend: ExecutorBackend, flight: _Flight,
                 inflight: Dict[Future, _Flight], now: float) -> bool:
-        """Submit one flight; ``False`` when the pool refused it (broken)."""
+        """Submit one flight; ``False`` when the backend refused it (broken)."""
         flight.tries += 1
         try:
-            future = executor.submit(execute_payload, flight.unit.payload(),
-                                     flight.tries, self._chaos_spec, True)
-        except BrokenProcessPool:
+            future = backend.submit(flight.unit.payload(), flight.tries,
+                                    self._chaos_spec)
+        except backend.broken_exceptions:
             flight.tries -= 1  # never started: no attempt, no chaos salt
             return False
         if self.policy.unit_timeout is not None:
@@ -471,22 +544,6 @@ class Supervisor:
             attempts=flight.tries, degraded=flight.degradations))
 
 
-def _terminate_executor(executor: Optional[ProcessPoolExecutor]) -> None:
-    """Shut a pool down hard: cancel queued work, kill worker processes."""
-    if executor is None:
-        return
-    try:
-        processes = list(executor._processes.values())  # noqa: SLF001
-    except AttributeError:  # pragma: no cover - CPython implementation detail
-        processes = []
-    executor.shutdown(wait=False, cancel_futures=True)
-    for process in processes:
-        try:
-            process.terminate()
-        except Exception:  # pragma: no cover - already dead
-            pass
-    for process in processes:
-        try:
-            process.join(timeout=1.0)
-        except Exception:  # pragma: no cover - already reaped
-            pass
+#: The hard-teardown helper moved to :mod:`repro.runner.executors` with
+#: the transport seam; the old private name keeps importers working.
+_terminate_executor = terminate_pool

@@ -16,6 +16,7 @@ from repro.errors import ConfigurationError, WorkerError
 from repro.experiments import figure_series, figure_work_units
 from repro.runner import (
     ResultCache,
+    SupervisorPolicy,
     SweepRunner,
     UnitOutcome,
     WorkUnit,
@@ -136,9 +137,14 @@ class TestSweepRunner:
         assert not outcomes[0].ok and "boom" in outcomes[0].error
         assert outcomes[1].ok and outcomes[1].value == 4
 
-    def test_invalid_chunk_size_rejected(self):
-        with pytest.raises(ConfigurationError):
-            SweepRunner(chunk_size=0)
+    def test_chunk_size_knob_is_gone(self):
+        # The IPC-chunking knob died with supervised per-unit dispatch;
+        # any value — previously "valid" or not — is a configuration
+        # error that points at the supervisor policy instead.
+        for value in (0, 1, 16):
+            with pytest.raises(ConfigurationError,
+                               match="SupervisorPolicy"):
+                SweepRunner(chunk_size=value)
 
 
 class TestResultCache:
@@ -578,3 +584,186 @@ class TestCacheIntegrity:
         assert list(cache.quarantine_root.iterdir())
         assert cache.clear() == 0     # the only entry was quarantined
         assert not cache.quarantine_root.exists()
+
+
+@evaluator("test-engine-sensitive")
+def _engine_sensitive(seed, params, backend="dense"):
+    if params.get("engine") == "batched":
+        raise ValueError("batched path deliberately broken")
+    return {"seed": seed, "engine": params.get("engine"), "x": params["x"]}
+
+
+@evaluator("test-log-execution")
+def _log_execution(seed, params, backend="dense"):
+    # Appends one line per *execution* to a file the test names; dedup
+    # tests count lines to prove each unique digest ran exactly once.
+    with open(params["log"], "a", encoding="utf-8") as handle:
+        handle.write(f"{seed}:{params['x']}\n")
+    return params["x"] * 10 + seed
+
+
+class TestInFlightDedup:
+    def _duplicated_units(self, log, uniques=3, copies=3):
+        units = []
+        for copy in range(copies):
+            units.extend(WorkUnit("test-log-execution", 1,
+                                  {"x": x, "log": str(log)})
+                         for x in range(uniques))
+        return units
+
+    def test_each_unique_digest_executes_once(self, tmp_path):
+        log = tmp_path / "executions.log"
+        units = self._duplicated_units(log, uniques=3, copies=3)
+        runner = SweepRunner(jobs=1)
+        outcomes = runner.run(units)
+        assert log.read_text().count("\n") == 3  # 9 units, 3 executions
+        report = runner.last_report
+        assert (report.total, report.computed, report.deduped) == (9, 3, 6)
+        assert sum(1 for o in outcomes if o.deduped) == 6
+        # Every follower carries its leader's value, re-keyed to its unit.
+        assert [o.value for o in outcomes] == [1, 11, 21] * 3
+        assert [o.unit.config_digest for o in outcomes] == [
+            u.config_digest for u in units]
+
+    def test_dedup_pool_path_executes_once_per_digest(self, tmp_path):
+        log = tmp_path / "executions.log"
+        units = self._duplicated_units(log, uniques=4, copies=2)
+        runner = SweepRunner(jobs=2)
+        outcomes = runner.run(units)
+        assert log.read_text().count("\n") == 4
+        assert runner.last_report.deduped == 4
+        assert [o.value for o in outcomes] == [1, 11, 21, 31] * 2
+
+    def test_byte_identical_to_dedup_off(self, tmp_path):
+        units = []
+        for copy in range(2):
+            units.extend(WorkUnit("test-square", 5, {"x": x})
+                         for x in range(4))
+        on = SweepRunner(jobs=1).run(units)
+        off_runner = SweepRunner(jobs=1,
+                                 supervisor=SupervisorPolicy(dedup=False))
+        off = off_runner.run(units)
+        assert [pickle.dumps(o.value) for o in on] == \
+               [pickle.dumps(o.value) for o in off]
+        assert off_runner.last_report.deduped == 0
+        assert off_runner.last_report.computed == 8
+
+    def test_leader_failure_fails_followers_with_same_error(self):
+        units = [WorkUnit("test-explode", 7, {}),
+                 WorkUnit("test-explode", 7, {}),
+                 WorkUnit("test-square", 0, {"x": 2})]
+        policy = SupervisorPolicy(max_attempts=1, degrade=False)
+        runner = SweepRunner(jobs=1, supervisor=policy)
+        outcomes = runner.run(units, raise_on_error=False)
+        assert not outcomes[0].ok and not outcomes[1].ok
+        assert outcomes[0].error == outcomes[1].error
+        assert "boom from seed 7" in outcomes[1].error
+        assert not outcomes[0].deduped and outcomes[1].deduped
+        assert outcomes[2].ok and not outcomes[2].deduped
+
+    def test_degradation_digest_propagates_to_followers(self, tmp_path):
+        unit = WorkUnit("test-engine-sensitive", 3,
+                        {"x": 1, "engine": "batched"})
+        scalar = WorkUnit("test-engine-sensitive", 3,
+                          {"x": 1, "engine": "scalar"})
+        cache = ResultCache(tmp_path)
+        policy = SupervisorPolicy(max_attempts=1, degrade=True)
+        runner = SweepRunner(jobs=1, cache=cache, supervisor=policy)
+        first, second = runner.run([unit, WorkUnit(
+            "test-engine-sensitive", 3, {"x": 1, "engine": "batched"})])
+        assert first.ok and second.ok and second.deduped
+        assert first.computed_digest == scalar.config_digest
+        assert second.computed_digest == scalar.config_digest
+        assert first.degraded == second.degraded == \
+            ("engine:batched->scalar",)
+        # Cached once, under what was actually computed.
+        assert cache.get(scalar.config_digest)[0]
+        assert cache.get(unit.config_digest)[0] is False
+        assert cache.stats().entries == 1
+
+    def test_counter_invariant_with_cache_hits(self, tmp_path):
+        units = [WorkUnit("test-square", 2, {"x": x}) for x in (1, 1, 2, 3)]
+        cache = ResultCache(tmp_path)
+        warm = SweepRunner(jobs=1, cache=cache)
+        warm.run([units[3]])  # pre-warm x=3
+        runner = SweepRunner(jobs=1, cache=cache)
+        runner.run(units)
+        report = runner.last_report
+        assert report.cache_hits == 1
+        assert report.computed + report.deduped + report.cache_hits \
+            == report.total == 4
+        assert report.deduped == 1
+
+    def test_deduped_run_report_format_mentions_counters(self):
+        units = [WorkUnit("test-square", 0, {"x": 1}),
+                 WorkUnit("test-square", 0, {"x": 1})]
+        runner = SweepRunner(jobs=1)
+        runner.run(units)
+        text = runner.last_report.format()
+        assert "1 deduped" in text
+        assert "hit rate" in text
+
+
+class TestExecutorBackendSeam:
+    def test_custom_backend_drives_the_parallel_path(self):
+        from repro.runner import SerialBackend
+
+        class CountingBackend(SerialBackend):
+            def __init__(self, workers):
+                self.workers = workers
+                self.submitted = 0
+                self.lifecycle = []
+
+            def start(self):
+                self.lifecycle.append("start")
+
+            def submit(self, payload, attempt, chaos_spec):
+                self.submitted += 1
+                return super().submit(payload, attempt, chaos_spec)
+
+            def terminate(self):
+                self.lifecycle.append("terminate")
+
+            def shutdown(self):
+                self.lifecycle.append("shutdown")
+
+        built = []
+
+        def factory(workers):
+            backend = CountingBackend(workers)
+            built.append(backend)
+            return backend
+
+        units = _square_units(6)
+        runner = SweepRunner(jobs=3, backend_factory=factory)
+        values = runner.run_values(units)
+        assert values == SweepRunner(jobs=1).run_values(units)
+        [backend] = built
+        assert backend.workers == 3
+        assert backend.submitted == 6
+        assert backend.lifecycle == ["start", "shutdown"]
+
+    def test_broken_backend_walks_recovery_to_serial(self):
+        from repro.runner import BackendBroken, SerialBackend
+
+        class FlakyBackend(SerialBackend):
+            """Breaks on every submit: the supervisor must respawn it and
+            eventually degrade the work to inline serial execution."""
+
+            broken_exceptions = (BackendBroken,)
+
+            def __init__(self, workers):
+                self.workers = workers
+
+            def submit(self, payload, attempt, chaos_spec):
+                raise BackendBroken("no transport today")
+
+        policy = SupervisorPolicy(max_attempts=1, max_pool_respawns=1)
+        runner = SweepRunner(jobs=2, backend_factory=FlakyBackend,
+                             supervisor=policy)
+        units = _square_units(4)
+        values = runner.run_values(units)
+        assert values == [x ** 2 for x in range(4)]
+        report = runner.last_report
+        assert report.pool_respawns >= 1
+        assert report.serial_fallbacks == 4

@@ -1,0 +1,328 @@
+"""Tests for the advisory SQLite entry index (repro.runner.index).
+
+The index's contract has two halves: aggregate operations (``stats``,
+``prune``, ``verify --fast``, ``get_many``) are answered from SQLite
+instead of directory walks, and yet the index holds zero authority — a
+stale, deleted, or corrupted index may cost extra work but can never
+change a served value or a reported total.  These tests pin both halves,
+plus the rebuild path (``reindex``) that reconciles the two.
+"""
+
+import json
+import os
+import sqlite3
+
+import pytest
+
+from repro.cli import main
+from repro.runner import (
+    INDEX_FILENAME,
+    CacheIndex,
+    ResultCache,
+    SweepRunner,
+    WorkUnit,
+)
+from repro.runner.cache import ENVELOPE_VERSION, encode_entry
+
+# Reuse the runner suite's module-level test evaluators ("test-square"):
+# registering the same id twice is a ConfigurationError by design.
+from tests.test_runner import _square  # noqa: F401
+
+
+def _digest(index):
+    return f"{index:02d}" + "a" * 62
+
+
+class TestCacheIndexUnit:
+    def test_record_and_query_round_trip(self, tmp_path):
+        index = CacheIndex(tmp_path)
+        index.record(_digest(1), 100, 5.0, ENVELOPE_VERSION, "test-square")
+        index.record(_digest(2), 200, 3.0)
+        assert index.summary() == (2, 300)
+        assert index.rows() == [
+            (_digest(1), 100, 5.0, ENVELOPE_VERSION, "test-square"),
+            (_digest(2), 200, 3.0, 0, ""),
+        ]
+        # LRU order is mtime order, not insertion order.
+        assert [d for d, _, _ in index.lru_entries()] == [
+            _digest(2), _digest(1)]
+
+    def test_contains_many_chunks_large_batches(self, tmp_path):
+        index = CacheIndex(tmp_path)
+        digests = [f"{i:04d}" + "b" * 60 for i in range(1500)]
+        index.replace_all((d, 1, float(i), 1, "") for i, d in
+                          enumerate(digests))
+        # 1500 digests spans the 900-parameter chunk boundary.
+        present = index.contains_many(digests + [_digest(99)])
+        assert present == set(digests)
+
+    def test_remove_many_is_transactional_and_chunked(self, tmp_path):
+        index = CacheIndex(tmp_path)
+        digests = [f"{i:04d}" + "c" * 60 for i in range(1000)]
+        index.replace_all((d, 1, 0.0, 1, "") for d in digests)
+        index.remove_many(digests[:950])
+        assert index.summary()[0] == 50
+
+    def test_schema_version_mismatch_discards_table(self, tmp_path):
+        index = CacheIndex(tmp_path)
+        index.record(_digest(1), 1, 1.0)
+        index.close()
+        connection = sqlite3.connect(index.path)
+        connection.execute("PRAGMA user_version=999")
+        connection.commit()
+        connection.close()
+        fresh = CacheIndex(tmp_path)
+        assert fresh.summary() == (0, 0)  # old rows are gone, schema reset
+
+    def test_garbage_database_file_is_discarded_and_rebuilt(self, tmp_path):
+        (tmp_path / INDEX_FILENAME).write_bytes(b"this is not sqlite")
+        index = CacheIndex(tmp_path)
+        index.record(_digest(1), 10, 1.0)
+        assert index.summary() == (1, 10)
+
+
+class TestResultCacheIndexIntegration:
+    def test_put_records_an_index_row(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_digest(1), {"v": 1}, evaluator_id="test-square")
+        [(digest, size, mtime, version, evaluator)] = cache.index.rows()
+        assert digest == _digest(1)
+        path = tmp_path / digest[:2] / f"{digest}.pkl"
+        assert size == path.stat().st_size and size > 0
+        assert mtime == pytest.approx(path.stat().st_mtime)
+        assert version == ENVELOPE_VERSION
+        assert evaluator == "test-square"
+
+    def test_stats_index_and_walk_agree(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(5):
+            cache.put(_digest(i), list(range(i)))
+        indexed = cache.stats()
+        walked = cache.stats(walk=True)
+        assert (indexed.entries, indexed.total_bytes) == \
+            (walked.entries, walked.total_bytes)
+        assert indexed.entries == 5
+
+    def test_index_deletion_recovers_byte_identical_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(4):
+            cache.put(_digest(i), i * "x")
+        reference = cache.stats(walk=True)
+        cache.index.delete()
+        assert not cache.index.exists()
+        rebuilt = ResultCache(tmp_path).stats()
+        assert (rebuilt.entries, rebuilt.total_bytes) == \
+            (reference.entries, reference.total_bytes)
+
+    def test_get_many_hits_misses_and_stale_rows(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_digest(1), "one")
+        cache.put(_digest(2), "two")
+        # Stale row: the index lists an entry whose file is gone.
+        (tmp_path / _digest(2)[:2] / f"{_digest(2)}.pkl").unlink()
+        values = cache.get_many([_digest(1), _digest(2), _digest(3),
+                                 _digest(1)])
+        assert values == {_digest(1): "one"}
+        # The unindexed digest was a no-filesystem miss, the stale row a
+        # safe (verified) miss — never a wrong value.
+        assert cache.hits == 1 and cache.misses == 2
+
+    def test_get_many_survives_a_corrupt_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_digest(1), "good")
+        cache.put(_digest(2), "bad")
+        (tmp_path / _digest(2)[:2] / f"{_digest(2)}.pkl").write_bytes(b"torn")
+        values = cache.get_many([_digest(1), _digest(2)])
+        assert values == {_digest(1): "good"}
+        assert cache.corrupt == 1
+        # The corrupt entry was quarantined and its index row dropped.
+        assert [r[0] for r in cache.index.rows()] == [_digest(1)]
+
+    def test_quarantine_on_get_drops_the_index_row(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_digest(1), 1)
+        (tmp_path / _digest(1)[:2] / f"{_digest(1)}.pkl").write_bytes(b"x")
+        assert cache.get(_digest(1)) == (False, None)
+        assert cache.index.rows() == []
+        assert cache.stats().entries == 0
+
+    def test_prune_uses_indexed_lru_and_drops_rows(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(4):
+            cache.put(_digest(i), "payload" * 10)
+            # Separate the indexed mtimes deterministically.
+            path = tmp_path / _digest(i)[:2] / f"{_digest(i)}.pkl"
+            os.utime(path, (1000.0 + i, 1000.0 + i))
+        cache.reindex()  # pick up the adjusted mtimes
+        size = (tmp_path / _digest(0)[:2] /
+                f"{_digest(0)}.pkl").stat().st_size
+        removed, remaining = cache.prune(size * 2)
+        assert removed == 2 and remaining == size * 2
+        # Oldest two evicted, on disk and in the index alike.
+        survivors = sorted(r[0] for r in cache.index.rows())
+        assert survivors == [_digest(2), _digest(3)]
+        assert cache.stats(walk=True).entries == 2
+
+    def test_prune_walk_and_index_paths_agree(self, tmp_path):
+        for walk in (False, True):
+            root = tmp_path / f"walk-{walk}"
+            cache = ResultCache(root)
+            for i in range(6):
+                cache.put(_digest(i), b"z" * 100)
+            removed, remaining = cache.prune(0, walk=walk)
+            assert removed == 6 and remaining == 0
+            assert cache.stats(walk=True).entries == 0
+
+    def test_reindex_reports_drift_and_converges(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_digest(1), "keep", evaluator_id="test-square")
+        cache.put(_digest(2), "vanishes")
+        # Drift 1: an entry written behind the index's back.
+        foreign = tmp_path / _digest(3)[:2] / f"{_digest(3)}.pkl"
+        foreign.parent.mkdir(parents=True, exist_ok=True)
+        foreign.write_bytes(encode_entry(_digest(3), "foreign", "test-x"))
+        # Drift 2: an indexed entry deleted behind the index's back.
+        (tmp_path / _digest(2)[:2] / f"{_digest(2)}.pkl").unlink()
+        report = cache.reindex()
+        assert report.drifted
+        assert (report.indexed, report.added, report.removed) == (2, 1, 1)
+        rows = {r[0]: r for r in cache.index.rows()}
+        assert set(rows) == {_digest(1), _digest(3)}
+        # Evaluator provenance recovered from the envelopes themselves.
+        assert rows[_digest(1)][4] == "test-square"
+        assert rows[_digest(3)][4] == "test-x"
+        assert not cache.reindex().drifted  # converged
+
+    def test_reindex_counts_undecodable_but_indexes_them(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_digest(1), "fine")
+        blob_path = tmp_path / _digest(2)[:2] / f"{_digest(2)}.pkl"
+        blob_path.parent.mkdir(parents=True, exist_ok=True)
+        blob_path.write_bytes(b"garbage bytes occupying space")
+        report = cache.reindex()
+        assert report.undecodable == 1
+        assert report.indexed == 2
+        # stats counts bytes on disk, decodable or not — identical to walk.
+        assert cache.stats().total_bytes == cache.stats(walk=True).total_bytes
+        assert "undecodable" in report.format()
+
+    def test_verify_fast_flags_missing_and_truncated(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(_digest(i), "v" * 50)
+        (tmp_path / _digest(0)[:2] / f"{_digest(0)}.pkl").unlink()
+        (tmp_path / _digest(1)[:2] / f"{_digest(1)}.pkl").write_bytes(b"sh")
+        report = cache.verify_fast()
+        assert not report.clean
+        assert report.missing == (_digest(0),)
+        assert report.mismatched == (_digest(1),)
+        assert report.ok == 1 and report.checked == 3
+        assert "reindex" in report.format()
+        clean = ResultCache(tmp_path)
+        clean.reindex()
+        # After reindex the fast audit only sees what exists (the
+        # truncated entry matches its re-recorded size; full verify is
+        # the integrity authority).
+        assert clean.verify_fast().missing == ()
+
+    def test_clear_empties_store_and_index(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(_digest(i), i)
+        assert cache.clear() == 3
+        assert cache.index.summary() == (0, 0)
+        assert cache.stats().entries == 0
+
+    def test_index_never_serves_a_value(self, tmp_path):
+        # The acceptance property in one test: poison every index row's
+        # metadata; reads are still checksum-verified from disk.
+        cache = ResultCache(tmp_path)
+        cache.put(_digest(1), {"real": True})
+        cache.index.replace_all([(_digest(1), 1, 1.0, 9, "lies"),
+                                 (_digest(9), 1, 1.0, 9, "ghost")])
+        assert cache.get(_digest(1)) == (True, {"real": True})
+        assert cache.get_many([_digest(1), _digest(9)]) == {
+            _digest(1): {"real": True}}
+
+    def test_quarantine_sibling_directories_are_scanned(self, tmp_path):
+        # The path-component fix: a sibling directory sharing the
+        # quarantine prefix ("_quarantine-old") holds real entries and
+        # must NOT be excluded from walks.
+        cache = ResultCache(tmp_path)
+        cache.put(_digest(1), 1)
+        sibling = tmp_path / "_quarantine-old"
+        sibling.mkdir()
+        stray = sibling / f"{_digest(2)}.pkl"
+        stray.write_bytes(encode_entry(_digest(2), "stray"))
+        walked = cache.stats(walk=True)
+        assert walked.entries == 2  # sibling dir scanned
+        # Real quarantine contents stay excluded.
+        cache.quarantine_root.mkdir(parents=True, exist_ok=True)
+        (cache.quarantine_root / "x.pkl").write_bytes(b"evidence")
+        assert cache.stats(walk=True).entries == 2
+
+
+class TestRunnerIndexIntegration:
+    def test_sweep_startup_probe_uses_one_index_query(self, tmp_path):
+        units = [WorkUnit("test-square", 0, {"x": x}) for x in range(5)]
+        cache = ResultCache(tmp_path)
+        SweepRunner(jobs=1, cache=cache).run(units)
+        warm_cache = ResultCache(tmp_path)
+        calls = []
+        original = warm_cache.index.contains_many
+
+        def spying(digests):
+            calls.append(list(digests))
+            return original(digests)
+
+        warm_cache.index.contains_many = spying
+        runner = SweepRunner(jobs=1, cache=warm_cache)
+        runner.run(units)
+        assert runner.last_report.cache_hits == 5
+        assert len(calls) == 1 and len(calls[0]) == 5
+
+    def test_runner_records_evaluator_provenance(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepRunner(jobs=1, cache=cache).run(
+            [WorkUnit("test-square", 0, {"x": 3})])
+        [(_, _, _, version, evaluator)] = cache.index.rows()
+        assert version == ENVELOPE_VERSION
+        assert evaluator == "test-square"
+
+
+class TestCacheCliIndex:
+    def _seed(self, root, count=3):
+        cache = ResultCache(root)
+        for i in range(count):
+            cache.put(_digest(i), "x" * 20)
+        return cache
+
+    def test_stats_json_is_machine_readable(self, tmp_path, capsys):
+        self._seed(tmp_path)
+        assert main(["cache", "stats", "--json",
+                     "--cache-dir", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 3
+        assert payload["total_bytes"] > 0
+        assert payload["hit_rate"] is None
+        assert set(payload) >= {"root", "entries", "total_bytes",
+                                "session_hits", "session_misses",
+                                "quarantined", "hit_rate"}
+
+    def test_verify_fast_exit_codes(self, tmp_path, capsys):
+        self._seed(tmp_path)
+        assert main(["cache", "verify", "--fast",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "fast-verified 3" in capsys.readouterr().out
+        (tmp_path / _digest(0)[:2] / f"{_digest(0)}.pkl").unlink()
+        assert main(["cache", "verify", "--fast",
+                     "--cache-dir", str(tmp_path)]) == 1
+        assert "1 missing" in capsys.readouterr().out
+
+    def test_reindex_reports_drift_then_consistency(self, tmp_path, capsys):
+        self._seed(tmp_path)
+        (tmp_path / INDEX_FILENAME).unlink()
+        assert main(["cache", "reindex", "--cache-dir", str(tmp_path)]) == 0
+        assert "3 added" in capsys.readouterr().out
+        assert main(["cache", "reindex", "--cache-dir", str(tmp_path)]) == 0
+        assert "already consistent" in capsys.readouterr().out
